@@ -1,0 +1,40 @@
+"""PEP 517 backend shim for fully offline installs.
+
+``pip install`` builds packages in an isolated environment and normally
+downloads ``setuptools``/``wheel`` into it.  This sandbox has no network,
+so the shim re-exposes the interpreter's ambient site-packages (where
+setuptools already lives) inside the isolated environment and then
+delegates everything to ``setuptools.build_meta``.
+
+With network access this shim is equivalent to using setuptools directly.
+"""
+
+import os
+import sys
+import sysconfig
+
+for _path in {sysconfig.get_path("purelib"), sysconfig.get_path("platlib")}:
+    if _path and os.path.isdir(_path) and _path not in sys.path:
+        sys.path.append(_path)
+
+from setuptools.build_meta import *  # noqa: F401,F403,E402
+from setuptools import build_meta as _backend  # noqa: E402
+
+
+def _supported_features():  # pragma: no cover - pip capability probe
+    return getattr(_backend, "_supported_features", lambda: [])()
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    """No dynamic build requirements: wheel is on the ambient path."""
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    """No dynamic build requirements: wheel is on the ambient path."""
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    """No dynamic build requirements."""
+    return []

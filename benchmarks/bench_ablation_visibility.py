@@ -1,0 +1,48 @@
+"""Ablation — §5's visibility extremes.
+
+The paper discusses two extreme policies for inserting encryption:
+maximizing visibility (encrypt only when strictly needed) and minimizing
+visibility (encrypt by default, decrypt on demand), and motivates its
+candidate-driven middle ground.  This bench compares the minimal
+extension (with opportunistic decryption) against the
+minimize-visibility variant on representative queries.
+
+Expected shape: minimize-visibility performs at least as many encryption
+operations and costs at least as much, often dramatically more when it
+forces Paillier/OPE work the minimal extension avoids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation import visibility_ablation
+
+from conftest import BENCH_SCALE
+
+#: Queries spanning the interesting regimes: lineitem-heavy aggregation,
+#: deep cross-authority joins, and count-style aggregation.
+ABLATION_QUERIES = (3, 5, 10, 13, 21)
+
+
+@pytest.mark.parametrize("query_number", ABLATION_QUERIES)
+def test_visibility_ablation(benchmark, scenarios, query_number, capsys):
+    """Minimal extension vs minimize-visibility on one query."""
+    scenario_obj = scenarios["UAPenc"]
+    points = benchmark.pedantic(
+        visibility_ablation,
+        args=(query_number, scenario_obj),
+        kwargs={"scale": BENCH_SCALE},
+        rounds=1, iterations=1,
+    )
+    by_variant = {p.variant: p for p in points}
+    minimal = by_variant["minimal-extension"]
+    maximal = by_variant["minimize-visibility"]
+    with capsys.disabled():
+        print(
+            f"\nQ{query_number}: minimal-extension ${minimal.total_usd:.6f} "
+            f"({minimal.encryption_operations} enc ops) vs "
+            f"minimize-visibility ${maximal.total_usd:.6f} "
+            f"({maximal.encryption_operations} enc ops)"
+        )
+    assert minimal.total_usd <= maximal.total_usd * 1.001

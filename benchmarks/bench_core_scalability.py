@@ -1,0 +1,86 @@
+"""Scalability of the core algorithms on synthetic plans.
+
+Not a paper figure, but the reproduction's own sanity check that the
+candidate computation (Definition 5.3), the minimal extension
+(Definition 5.4), and profile propagation scale as expected: all are
+linear passes over the plan, so doubling the plan should roughly double
+the time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.authorization import ANY, Authorization, Policy
+from repro.core.candidates import compute_candidates
+from repro.core.extension import minimally_extend
+from repro.core.operators import BaseRelationNode, Join, Selection
+from repro.core.plan import QueryPlan
+from repro.core.predicates import (
+    AttributeValuePredicate,
+    ComparisonOp,
+    equals,
+)
+from repro.core.schema import Relation, Schema
+
+
+def build_chain(relations: int) -> tuple[QueryPlan, Policy, list[str]]:
+    """A left-deep join chain over ``relations`` two-attribute relations."""
+    schema = Schema()
+    policy = Policy(schema)
+    subjects = ["U", "P1", "P2"]
+    nodes = []
+    for index in range(relations):
+        relation = schema.add(Relation(
+            f"R{index}", [f"a{index}", f"b{index}"], cardinality=1000,
+        ))
+        policy.grant(Authorization(
+            relation, relation.attribute_names, (), "U"
+        ))
+        policy.grant(Authorization(
+            relation, (), relation.attribute_names, ANY
+        ))
+        leaf = BaseRelationNode(relation)
+        nodes.append(Selection(
+            leaf,
+            AttributeValuePredicate(f"b{index}", ComparisonOp.EQ, index),
+        ))
+    current = nodes[0]
+    for index in range(1, relations):
+        current = Join(current, nodes[index],
+                       equals(f"a{index - 1}", f"a{index}"))
+    return QueryPlan(current), policy, subjects
+
+
+@pytest.mark.parametrize("relations", [4, 8, 16, 32])
+def test_candidate_computation_scales(benchmark, relations):
+    """Candidate sets over growing join chains."""
+    plan, policy, subjects = build_chain(relations)
+    candidates = benchmark(compute_candidates, plan, policy, subjects)
+    for node in plan.operations():
+        assert candidates[node]  # 'any' grants keep everyone eligible
+
+
+@pytest.mark.parametrize("relations", [4, 8, 16, 32])
+def test_minimal_extension_scales(benchmark, relations):
+    """Minimal extension over growing join chains."""
+    plan, policy, subjects = build_chain(relations)
+    assignment = {node: "P1" for node in plan.operations()}
+
+    def extend():
+        return minimally_extend(plan, policy, assignment, deliver_to="U")
+
+    extended = benchmark(extend)
+    assert extended.encrypted_attributes
+
+
+@pytest.mark.parametrize("relations", [8, 32])
+def test_profile_computation_scales(benchmark, relations):
+    """Profile propagation over growing join chains."""
+    plan, _, _ = build_chain(relations)
+
+    def profiles():
+        return QueryPlan(plan.root).profiles()
+
+    result = benchmark(profiles)
+    assert len(result) == len(plan.nodes())

@@ -1,0 +1,64 @@
+"""Throughput of the encryption substrate.
+
+The §7 tool prices encryption "based on common benchmarks"; these
+benchmarks measure our actual primitives so the cost-model factors in
+``repro.cost.factors`` can be sanity-checked against reality (the *ratios*
+between schemes are what drives the assignment search).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.ope import OpeCipher
+from repro.crypto.paillier import generate_keypair
+from repro.crypto.symmetric import DeterministicCipher, RandomizedCipher
+
+KEY = b"benchmark-key-32-bytes-long!!!!!"
+VALUES = [f"value-{i}" for i in range(200)]
+NUMBERS = list(range(200))
+
+
+def test_deterministic_encrypt(benchmark):
+    cipher = DeterministicCipher(KEY)
+    benchmark(lambda: [cipher.encrypt(v) for v in VALUES])
+
+
+def test_randomized_encrypt(benchmark):
+    cipher = RandomizedCipher(KEY)
+    benchmark(lambda: [cipher.encrypt(v) for v in VALUES])
+
+
+def test_deterministic_decrypt(benchmark):
+    cipher = DeterministicCipher(KEY)
+    tokens = [cipher.encrypt(v) for v in VALUES]
+    benchmark(lambda: [cipher.decrypt(t) for t in tokens])
+
+
+def test_ope_encrypt(benchmark):
+    cipher = OpeCipher(KEY)
+    benchmark(lambda: [cipher.encrypt(n) for n in NUMBERS])
+
+
+@pytest.fixture(scope="module")
+def paillier_keys():
+    return generate_keypair(512)
+
+
+def test_paillier_encrypt(benchmark, paillier_keys):
+    public, _ = paillier_keys
+    benchmark(lambda: [public.encrypt(n) for n in NUMBERS[:20]])
+
+
+def test_paillier_homomorphic_sum(benchmark, paillier_keys):
+    public, private = paillier_keys
+    ciphertexts = [public.encrypt(n) for n in NUMBERS[:50]]
+
+    def homomorphic_sum():
+        total = ciphertexts[0]
+        for c in ciphertexts[1:]:
+            total = total + c
+        return private.decrypt(total)
+
+    result = benchmark(homomorphic_sum)
+    assert result == sum(NUMBERS[:50])

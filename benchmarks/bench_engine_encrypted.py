@@ -1,0 +1,82 @@
+"""Encrypted vs plaintext execution throughput (engine substrate).
+
+Executes the running-example query end to end on generated data, once in
+plaintext and once through the Figure 7(a) extended plan with real
+encryption.  The slowdown factor contextualizes the per-value costs used
+by the cost model.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.dispatch import dispatch
+from repro.core.extension import minimally_extend
+from repro.core.keys import establish_keys
+from repro.crypto.keymanager import DistributedKeys
+from repro.engine import Executor, Table
+from repro.paper_example import build_running_example
+
+ROWS = 500
+
+
+@pytest.fixture(scope="module")
+def example_data():
+    rng = random.Random(7)
+    diseases = ["stroke", "flu", "cardiac", "asthma"]
+    treatments = ["tpa", "surgery", "rest", "statins"]
+    hosp = Table("Hosp", ("S", "B", "D", "T"), [
+        (f"s{i}", 1950 + rng.randrange(60), rng.choice(diseases),
+         rng.choice(treatments))
+        for i in range(ROWS)
+    ])
+    ins = Table("Ins", ("C", "P"), [
+        (f"s{i}", round(rng.uniform(40.0, 400.0), 2)) for i in range(ROWS)
+    ])
+    return {"Hosp": hosp, "Ins": ins}
+
+
+def test_plaintext_execution(benchmark, example_data):
+    example = build_running_example()
+    executor = Executor(example_data)
+    result = benchmark(lambda: executor.execute(example.plan))
+    assert result.columns == ("T", "P")
+
+
+def test_encrypted_execution(benchmark, example_data):
+    example = build_running_example()
+    extended = minimally_extend(
+        example.plan, example.policy, example.assignment_7a(),
+        owners=example.owners,
+    )
+    keys = establish_keys(extended, example.policy)
+    distributed = DistributedKeys.from_assignment(keys)
+    executor = Executor(example_data, keystore=distributed.master)
+
+    result = benchmark.pedantic(
+        lambda: executor.execute(extended.plan), rounds=1, iterations=1
+    )
+    plain = Executor(example_data).execute(example.plan)
+    assert result.columns == plain.columns
+    got = sorted(result.rows)
+    want = sorted(plain.rows)
+    assert len(got) == len(want)
+    for (t1, p1), (t2, p2) in zip(got, want):
+        # Paillier fixed-point arithmetic rounds at 1e-6; allow for it.
+        assert t1 == t2 and abs(p1 - p2) < 1e-6
+
+
+def test_dispatch_construction(benchmark, example_data):
+    """Time sub-query dispatch (fragmenting + rendering + key routing)."""
+    example = build_running_example()
+    extended = minimally_extend(
+        example.plan, example.policy, example.assignment_7a(),
+        owners=example.owners,
+    )
+    keys = establish_keys(extended, example.policy)
+    plan = benchmark(
+        dispatch, extended, keys, owners=example.owners, user="U"
+    )
+    assert len(plan.fragments) == 4

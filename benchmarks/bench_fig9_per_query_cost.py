@@ -1,0 +1,48 @@
+"""Figure 9 — economic cost of evaluating individual queries.
+
+Regenerates the per-query normalized-cost series of the paper: for every
+TPC-H query, the cost of the cheapest authorized plan under UA (the
+baseline, normalized to 1), UAPenc, and UAPmix.  The benchmark times the
+full assignment pipeline per query; the figure itself is printed once at
+the end of the module.
+
+Expected shape (paper, Figure 9): UAPenc ≤ UA and UAPmix ≤ UAPenc for
+every query, with large savings on the provider-friendly queries and
+parity on single-authority queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.economics import run_query_scenario
+
+from conftest import BENCH_SCALE
+
+QUERIES = list(range(1, 23))
+
+
+@pytest.mark.parametrize("query_number", QUERIES)
+def test_fig9_query_pipeline(benchmark, scenarios, query_number):
+    """Time the full §6 pipeline for one query under UAPenc."""
+    scenario_obj = scenarios["UAPenc"]
+
+    result = benchmark.pedantic(
+        run_query_scenario,
+        args=(query_number, scenario_obj),
+        kwargs={"scale": BENCH_SCALE},
+        rounds=1, iterations=1,
+    )
+    assert result.cost.total_usd > 0
+
+
+def test_fig9_report(benchmark, economics_results, capsys):
+    """Print the Figure 9 table and assert its shape."""
+    table = benchmark(economics_results.figure9_table)
+    with capsys.disabled():
+        print("\n=== Figure 9: per-query normalized cost ===")
+        print(table)
+    for query, ua, enc, mix in economics_results.per_query_rows():
+        assert ua == 1.0
+        assert enc <= 1.0 + 1e-9, f"Q{query}: UAPenc worse than UA"
+        assert mix <= enc + 1e-9, f"Q{query}: UAPmix worse than UAPenc"

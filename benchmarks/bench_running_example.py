@@ -1,0 +1,44 @@
+"""Figures 3–8 — the paper's worked example, regenerated and timed.
+
+Asserts the exact values the paper prints: the Figure 3 profiles, the
+Figure 4 views, the Figure 6 candidate sets, the Figure 7 encrypted
+attributes and key distributions, and the Figure 8 dispatch structure.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.running_example import run_running_example
+
+
+def test_running_example_pipeline(benchmark, capsys):
+    """Time the full figures 3–8 regeneration and validate the values."""
+    results = benchmark.pedantic(run_running_example, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(results.describe())
+
+    # Figure 6 candidate sets, exactly as printed in the paper.
+    assert results.figure6_candidates == {
+        "σ(D='stroke')": "HIUXYZ",
+        "⋈(S=C)": "HUXYZ",
+        "γ(T, avg(P))": "HUXYZ",
+        "σ(avg(P)>100)": "UY",
+    }
+    # Figure 7(a): S, C, P encrypted; kSC → H,I; kP → I,Y.
+    assert results.figure7a.encrypted_attributes == frozenset("SCP")
+    holders_7a = {
+        key.name: "".join(sorted(results.keys7a.holders(key)))
+        for key in results.keys7a.keys
+    }
+    assert holders_7a == {"kCS": "HI", "kP": "IY"}
+    # Figure 7(b): D, P encrypted; kD → H; kP → I,Y.
+    assert results.figure7b.encrypted_attributes == frozenset("DP")
+    holders_7b = {
+        key.name: "".join(sorted(results.keys7b.holders(key)))
+        for key in results.keys7b.keys
+    }
+    assert holders_7b == {"kD": "H", "kP": "IY"}
+    # Figure 8: four sub-queries, called Y → X → (H, I).
+    call_order = [f.subject for f in results.figure8.in_call_order()]
+    assert call_order == ["Y", "X", "H", "I"]

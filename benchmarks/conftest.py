@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.economics import run_economics
+from repro.tpch.scenarios import all_scenarios
+from repro.tpch.schema import build_tpch_schema
+
+#: Scale factor used across the economic benchmarks.
+BENCH_SCALE = 0.1
+
+
+@pytest.fixture(scope="session")
+def economics_results():
+    """The full Figure 9/10 dataset, computed once per session."""
+    return run_economics(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def tpch_schema():
+    """TPC-H schema at the benchmark scale."""
+    return build_tpch_schema(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def scenarios(tpch_schema):
+    """The three §7 scenarios."""
+    return all_scenarios(tpch_schema)

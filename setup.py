@@ -1,0 +1,11 @@
+"""Setup shim enabling offline editable installs (no wheel/PEP 660).
+
+The sandbox has no network and no ``wheel`` package, so modern editable
+installs (which build a wheel) fail.  ``pip install -e .`` falls back to
+this legacy path via ``--no-use-pep517`` or works directly with
+``python setup.py develop``.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

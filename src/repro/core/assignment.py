@@ -1,0 +1,512 @@
+"""Cost-based assignment of operations to candidates (§6–§7).
+
+Implements the five-step pipeline of §6:
+
+1. post-order visit computing the candidate sets Λ (Definition 5.3);
+2. choice of an assignment λ ∈ Λ minimizing economic cost — a dynamic
+   program over (node, subject) states, the strategy the paper's tool
+   uses ("our implementation is based on a dynamic programming strategy
+   to explore the possible assignments of candidates to operators");
+3. post-order plan extension with encryption/decryption (Definition 5.4);
+4. key establishment (Definition 6.1);
+5. (dispatch lives in :mod:`repro.core.dispatch`).
+
+As §6 notes for non-negligible encryption costs, steps 2–3 are combined:
+the DP's edge costs price the encryption/decryption work implied by each
+(child subject, parent subject) pair, so scheme costs steer the choice.
+The reported cost is always the exact cost of the materialized extended
+plan.
+
+Alternative strategies (greedy, exhaustive) are provided for the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.authorization import Policy, Subject, SubjectView
+from repro.core.candidates import (
+    CandidateAssignment,
+    compute_candidates,
+    user_can_receive_result,
+)
+from repro.core.extension import ExtendedPlan, minimally_extend
+from repro.core.keys import (
+    KeyAssignment,
+    establish_keys,
+    schemes_for_extended_plan,
+)
+from repro.core.lineage import augment_view, derived_lineage
+from repro.core.operators import BaseRelationNode, PlanNode
+from repro.core.plan import QueryPlan
+from repro.core.predicates import EncryptedCapability
+from repro.core.requirements import (
+    EncryptionScheme,
+    SchemeCapabilities,
+    _node_demands,
+    chosen_schemes,
+    infer_plaintext_requirements,
+)
+from repro.cost.estimator import NodeEstimate, PlanEstimator
+from repro.cost.factors import (
+    DECRYPT_SECONDS_PER_VALUE,
+    ENCRYPT_SECONDS_PER_VALUE,
+)
+from repro.cost.model import CostBreakdown, CostModel
+from repro.cost.network import NetworkTopology
+from repro.cost.pricing import PriceList
+from repro.exceptions import NoCandidateError, UnauthorizedError
+
+_GB = 1e9
+
+
+@dataclass
+class AssignmentResult:
+    """Everything produced by the assignment pipeline."""
+
+    assignment: dict[PlanNode, str]
+    extended: ExtendedPlan
+    keys: KeyAssignment
+    cost: CostBreakdown
+    candidates: CandidateAssignment
+
+    def assignee(self, node: PlanNode) -> str:
+        """Chosen subject for an original-plan operation."""
+        for key, subject in self.assignment.items():
+            if key is node:
+                return subject
+        raise UnauthorizedError(f"no assignee recorded for {node.label()}")
+
+    def describe(self) -> str:
+        """Assignment summary plus the cost line."""
+        lines = [self.extended.describe(), self.cost.describe()]
+        return "\n".join(lines)
+
+
+def assign(
+    plan: QueryPlan,
+    policy: Policy,
+    subjects: Iterable[Subject | str],
+    prices: PriceList,
+    user: str,
+    owners: Mapping[str, str] | None = None,
+    topology: NetworkTopology | None = None,
+    requirements: Mapping[PlanNode, frozenset[str]] | None = None,
+    capabilities: SchemeCapabilities | None = None,
+    strategy: str = "dp",
+) -> AssignmentResult:
+    """Run the full §6 pipeline and return the cheapest authorized plan.
+
+    Raises :class:`NoCandidateError` when some operation has no candidate
+    and :class:`UnauthorizedError` when the querying user may not receive
+    the query result.
+    """
+    subject_names = [
+        s.name if isinstance(s, Subject) else s for s in subjects
+    ]
+    if requirements is None:
+        requirements = infer_plaintext_requirements(plan, capabilities)
+    candidates = compute_candidates(plan, policy, subject_names,
+                                    requirements)
+    candidates.require_nonempty()
+    if not user_can_receive_result(plan, policy, user, candidates.min_views):
+        raise UnauthorizedError(
+            f"user {user} is not authorized for the query result",
+            subject=user,
+        )
+
+    schemes = chosen_schemes(plan, capabilities)
+    topology = topology or NetworkTopology.paper_defaults(user)
+    estimator = PlanEstimator(schemes)
+    model = CostModel(prices, topology, estimator)
+    searcher = _AssignmentSearch(
+        plan=plan,
+        policy=policy,
+        candidates=candidates,
+        requirements=requirements,
+        schemes=schemes,
+        prices=prices,
+        estimator=estimator,
+        owners=dict(owners or {}),
+        user=user,
+    )
+    proposals: list[dict[PlanNode, str]] = []
+    if strategy == "dp":
+        # Portfolio: the DP's pairwise costs cannot see assignment-
+        # dependent scheme choices exactly (§6's combined steps 2–3), so
+        # propose optimistic and conservative searches plus the
+        # no-provider baseline, then compare *exact* extended-plan costs.
+        for mode in ("optimistic", "conservative"):
+            searcher.edge_scheme_mode = mode
+            try:
+                proposals.append(searcher.dynamic_programming())
+            except NoCandidateError:
+                pass
+        trusted = frozenset({user}) | frozenset((owners or {}).values())
+        searcher.edge_scheme_mode = "optimistic"
+        try:
+            proposals.append(searcher.dynamic_programming(
+                restrict_to=trusted))
+        except NoCandidateError:
+            pass
+        if not proposals:
+            raise NoCandidateError("no feasible assignment for the plan")
+    elif strategy == "greedy":
+        proposals.append(searcher.greedy())
+    elif strategy == "exhaustive":
+        proposals.append(searcher.exhaustive(model))
+    else:
+        raise ValueError(f"unknown assignment strategy {strategy!r}")
+
+    best: AssignmentResult | None = None
+    for assignment in proposals:
+        extended = minimally_extend(
+            plan, policy, assignment, requirements=requirements,
+            owners=owners, deliver_to=user,
+        )
+        # §6: schemes depend on the chosen assignment — attributes
+        # encrypted purely in transit get randomized encryption; only
+        # attributes some assignee computes on encrypted need
+        # det/OPE/Paillier.
+        exact_schemes = schemes_for_extended_plan(extended, capabilities,
+                                                  policy)
+        keys = establish_keys(extended, policy, schemes=exact_schemes)
+        exact_model = CostModel(prices, topology,
+                                PlanEstimator(exact_schemes))
+        cost = exact_model.extended_plan_cost(extended, user, owners)
+        result = AssignmentResult(
+            assignment=assignment,
+            extended=extended,
+            keys=keys,
+            cost=cost,
+            candidates=candidates,
+        )
+        if best is None or cost.total_usd < best.cost.total_usd:
+            best = result
+    assert best is not None
+    return best
+
+
+class _AssignmentSearch:
+    """Shared machinery of the three assignment strategies."""
+
+    def __init__(self, plan: QueryPlan, policy: Policy,
+                 candidates: CandidateAssignment,
+                 requirements: Mapping[PlanNode, frozenset[str]],
+                 schemes: Mapping[str, EncryptionScheme],
+                 prices: PriceList, estimator: PlanEstimator,
+                 owners: dict[str, str], user: str) -> None:
+        self.plan = plan
+        self.policy = policy
+        self.candidates = candidates
+        self.requirements = requirements
+        self.schemes = schemes
+        self.prices = prices
+        self.estimator = estimator
+        self.owners = owners
+        self.user = user
+        self.estimates = estimator.estimate(plan)
+        self._lineage = derived_lineage(plan)
+        self._views: dict[str, SubjectView] = {}
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def view(self, subject: str) -> SubjectView:
+        if subject not in self._views:
+            self._views[subject] = augment_view(
+                self.policy.view(subject), self._lineage
+            )
+        return self._views[subject]
+
+    def owner_of(self, leaf: BaseRelationNode) -> str:
+        name = leaf.relation.name
+        return self.owners.get(name, f"authority:{name}")
+
+    def plaintext_needed(self, node: PlanNode) -> frozenset[str]:
+        for key, value in self.requirements.items():
+            if key is node:
+                return value
+        return frozenset()
+
+    #: edge-scheme estimation mode: "optimistic" charges randomized
+    #: encryption for pass-through attributes (underestimates deep
+    #: chains), "conservative" always charges the demand-based scheme
+    #: (overestimates transit-only encryption).  The portfolio strategy
+    #: tries both and compares exact costs.
+    edge_scheme_mode = "optimistic"
+
+    def _edge_scheme(self, attribute: str, parent: PlanNode,
+                     receiver: str) -> EncryptionScheme:
+        """Scheme charged when encrypting ``attribute`` for ``parent``.
+
+        A receiver authorized for the attribute's plaintext computes in
+        the clear (note 2 / opportunistic decryption), so transit needs
+        only randomized encryption.  Otherwise, attributes the parent
+        operation computes on need the scheme their capability demands;
+        attributes merely passing through need only randomized encryption
+        (§6's highest-protection rule).
+        """
+        if self.view(receiver).can_view_plaintext(attribute):
+            return EncryptionScheme.RANDOMIZED
+        if self.edge_scheme_mode == "conservative" \
+                or attribute in parent.operand_attributes():
+            return self.schemes.get(attribute,
+                                    EncryptionScheme.DETERMINISTIC)
+        return EncryptionScheme.RANDOMIZED
+
+    def _crypto_seconds(self, attributes: Iterable[str], rows: float,
+                        table: Mapping[EncryptionScheme, float],
+                        parent: PlanNode | None = None,
+                        receiver: str | None = None) -> float:
+        seconds = 0.0
+        for attribute in attributes:
+            if parent is not None and receiver is not None:
+                scheme = self._edge_scheme(attribute, parent, receiver)
+            else:
+                scheme = self.schemes.get(attribute,
+                                          EncryptionScheme.DETERMINISTIC)
+            seconds += rows * table[scheme]
+        return seconds
+
+    def edge_cost(self, child: PlanNode, sender: str,
+                  parent: PlanNode, receiver: str) -> float:
+        """Approximate cost of handing ``child``'s output to ``receiver``.
+
+        Covers: encryption at the sender of visible attributes the
+        receiver may only see encrypted (skipping attributes the sender
+        itself already held encrypted), the network transfer of the
+        (partially encrypted) output, and decryption at the receiver of
+        attributes the parent operation needs in plaintext.
+        """
+        estimate = self.estimates[id(child)]
+        receiver_view = self.view(receiver)
+        visible = frozenset(estimate.plain_width)
+        needs_encrypted = receiver_view.encrypted & visible
+        sender_view = self.view(sender) if not sender.startswith(
+            "authority:") else None
+        already_encrypted = (sender_view.encrypted & visible
+                             if sender_view is not None else frozenset())
+        to_encrypt = needs_encrypted - already_encrypted
+        enc_seconds = self._crypto_seconds(
+            to_encrypt, estimate.rows, ENCRYPT_SECONDS_PER_VALUE,
+            parent=parent, receiver=receiver,
+        )
+        cost = enc_seconds * self.prices.rates(sender).cpu_usd_per_second
+
+        edge_schemes = {
+            attribute: self._edge_scheme(attribute, parent, receiver)
+            for attribute in visible
+        }
+        volume = estimate.bytes_if_encrypted(
+            needs_encrypted | already_encrypted, edge_schemes
+        )
+        if sender != receiver:
+            cost += volume / _GB * self.prices.rates(sender).net_usd_per_gb
+
+        to_decrypt = self.plaintext_needed(parent) & frozenset(
+            needs_encrypted | already_encrypted
+        )
+        dec_seconds = self._crypto_seconds(
+            to_decrypt, estimate.rows, DECRYPT_SECONDS_PER_VALUE
+        )
+        cost += dec_seconds * self.prices.rates(receiver).cpu_usd_per_second
+        return cost
+
+    def node_cost(self, node: PlanNode, subject: str) -> float:
+        """CPU + IO cost of executing ``node`` at ``subject``."""
+        estimate = self.estimates[id(node)]
+        rates = self.prices.rates(subject)
+        return (estimate.cpu_seconds * rates.cpu_usd_per_second
+                + estimate.io_bytes / _GB * rates.io_usd_per_gb
+                + self._scheme_penalty(node, subject))
+
+    def _scheme_penalty(self, node: PlanNode, subject: str) -> float:
+        """Extra cost implied by running ``node`` at ``subject`` encrypted.
+
+        §6 combines assignment and extension: assigning an addition- or
+        order-demanding operation to a subject without plaintext
+        visibility forces Paillier/OPE encryption upstream (and expensive
+        decryption of the results downstream).  The penalty charges the
+        scheme upgrade over randomized encryption at the operand
+        cardinality, priced at the authority rate (the sources encrypt),
+        plus the user-side decryption of the outputs.
+        """
+        view = self.view(subject)
+        operand_rows = sum(
+            self.estimates[id(child)].rows for child in node.children
+        )
+        authority_rate = max(
+            (self.prices.rates(owner).cpu_usd_per_second
+             for owner in self.owners.values()),
+            default=self.prices.rates(self.user).cpu_usd_per_second,
+        )
+        penalty = 0.0
+        for attribute, capability in _node_demands(node):
+            if capability not in (EncryptedCapability.ADDITION,
+                                  EncryptedCapability.ORDER):
+                continue
+            if view.can_view_plaintext(attribute):
+                # Opportunistic decryption: a cheap randomized decrypt.
+                penalty += (
+                    operand_rows
+                    * DECRYPT_SECONDS_PER_VALUE[EncryptionScheme.RANDOMIZED]
+                    * self.prices.rates(subject).cpu_usd_per_second
+                )
+                continue
+            scheme = (EncryptionScheme.PAILLIER
+                      if capability is EncryptedCapability.ADDITION
+                      else EncryptionScheme.OPE)
+            upgrade = (ENCRYPT_SECONDS_PER_VALUE[scheme]
+                       - ENCRYPT_SECONDS_PER_VALUE[
+                           EncryptionScheme.RANDOMIZED])
+            penalty += operand_rows * upgrade * authority_rate
+            output_rows = self.estimates[id(node)].rows
+            penalty += (
+                output_rows * DECRYPT_SECONDS_PER_VALUE[scheme]
+                * self.prices.rates(self.user).cpu_usd_per_second
+            )
+        return penalty
+
+    def delivery_cost(self, root_subject: str) -> float:
+        """Ship the result to the user and decrypt what arrives encrypted."""
+        estimate = self.estimates[id(self.plan.root)]
+        cost = 0.0
+        if root_subject != self.user:
+            cost += (estimate.output_bytes / _GB
+                     * self.prices.rates(root_subject).net_usd_per_gb)
+        visible = frozenset(estimate.plain_width)
+        encrypted_at_root = self.view(root_subject).encrypted & visible
+        dec_seconds = self._crypto_seconds(
+            encrypted_at_root, estimate.rows, DECRYPT_SECONDS_PER_VALUE
+        )
+        cost += dec_seconds * self.prices.rates(self.user).cpu_usd_per_second
+        return cost
+
+    # ------------------------------------------------------------------
+    # Strategies
+    # ------------------------------------------------------------------
+    def dynamic_programming(self, restrict_to: frozenset[str] | None = None,
+                            ) -> dict[PlanNode, str]:
+        """Optimal assignment under the pairwise cost approximation.
+
+        ``restrict_to`` limits the considered subjects (used by the
+        portfolio to evaluate the no-provider baseline).  Raises
+        :class:`NoCandidateError` when the restriction empties some
+        operation's candidate set.
+        """
+        table: dict[int, dict[str, float]] = {}
+        choice: dict[int, dict[str, dict[int, str]]] = {}
+
+        for node in self.plan.operations():
+            table[id(node)] = {}
+            choice[id(node)] = {}
+            allowed = self.candidates[node]
+            if restrict_to is not None:
+                allowed = allowed & restrict_to
+                if not allowed:
+                    raise NoCandidateError(
+                        f"restriction leaves no candidate for {node.label()}",
+                        node=node,
+                    )
+            for subject in allowed:
+                total = self.node_cost(node, subject)
+                picks: dict[int, str] = {}
+                feasible = True
+                for child in node.children:
+                    if isinstance(child, BaseRelationNode):
+                        owner = self.owner_of(child)
+                        total += self.node_cost(child, owner)
+                        total += self.edge_cost(child, owner, node, subject)
+                        continue
+                    best_cost = None
+                    best_subject = None
+                    for child_subject, child_cost in table[id(child)].items():
+                        candidate_cost = child_cost + self.edge_cost(
+                            child, child_subject, node, subject
+                        )
+                        if best_cost is None or candidate_cost < best_cost:
+                            best_cost = candidate_cost
+                            best_subject = child_subject
+                    if best_subject is None:
+                        feasible = False
+                        break
+                    total += best_cost
+                    picks[id(child)] = best_subject
+                if feasible:
+                    table[id(node)][subject] = total
+                    choice[id(node)][subject] = picks
+
+        root = self.plan.root
+        root_costs = {
+            subject: cost + self.delivery_cost(subject)
+            for subject, cost in table[id(root)].items()
+        }
+        if not root_costs:
+            raise NoCandidateError(
+                "no feasible assignment for the plan root", node=root
+            )
+        best_root = min(root_costs, key=root_costs.__getitem__)
+
+        assignment: dict[PlanNode, str] = {}
+
+        def backtrack(node: PlanNode, subject: str) -> None:
+            assignment[node] = subject
+            for child in node.children:
+                if isinstance(child, BaseRelationNode):
+                    continue
+                backtrack(child, choice[id(node)][subject][id(child)])
+
+        backtrack(root, best_root)
+        return assignment
+
+    def greedy(self) -> dict[PlanNode, str]:
+        """Cheapest-subject-per-node baseline (ignores edge effects)."""
+        assignment: dict[PlanNode, str] = {}
+        for node in self.plan.operations():
+            names = self.candidates[node]
+            if not names:
+                raise NoCandidateError(
+                    f"no candidate for {node.label()}", node=node
+                )
+            assignment[node] = min(
+                names, key=lambda s: (self.node_cost(node, s), s)
+            )
+        return assignment
+
+    def exhaustive(self, model: CostModel) -> dict[PlanNode, str]:
+        """Exact search: materialize every assignment (small plans only)."""
+        operations = list(self.plan.operations())
+        domains = [sorted(self.candidates[n]) for n in operations]
+        combination_count = 1
+        for domain in domains:
+            combination_count *= len(domain)
+        if combination_count > 50_000:
+            raise NoCandidateError(
+                f"exhaustive search infeasible: {combination_count} "
+                f"assignments"
+            )
+        best_cost = None
+        best_assignment = None
+        for combo in itertools.product(*domains):
+            assignment = dict(zip(operations, combo))
+            try:
+                extended = minimally_extend(
+                    self.plan, self.policy, assignment,
+                    requirements=self.requirements, owners=self.owners,
+                    deliver_to=self.user,
+                )
+            except UnauthorizedError:
+                continue
+            cost = model.extended_plan_cost(
+                extended, self.user, self.owners
+            ).total_usd
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_assignment = assignment
+        if best_assignment is None:
+            raise NoCandidateError("no authorized assignment exists")
+        return best_assignment

@@ -1,0 +1,236 @@
+"""The authorization model of Section 2.
+
+Each data authority independently specifies, for each of its relations,
+rules of the form ``[P, E] → S`` (Definition 2.1): subject ``S`` may see
+attributes ``P`` in plaintext and attributes ``E`` encrypted.  The policy
+is *closed*: anything not explicitly granted is not visible.  A rule for
+the pseudo-subject :data:`ANY` acts as the default for subjects without an
+explicit rule on that relation.
+
+:class:`Policy` aggregates the rules of all authorities and computes, for
+any subject, the *overall view* ``P_S`` / ``E_S`` used throughout Sections
+4–6 (see Figure 4 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.schema import Relation, Schema
+from repro.exceptions import AuthorizationError
+
+#: Pseudo-subject matching every subject without an explicit authorization.
+ANY = "any"
+
+
+class SubjectKind(enum.Enum):
+    """The three subject roles of the paper's scenario (§1)."""
+
+    USER = "user"
+    AUTHORITY = "authority"
+    PROVIDER = "provider"
+
+
+@dataclass(frozen=True)
+class Subject:
+    """A user, data authority, or cloud provider.
+
+    Examples
+    --------
+    >>> Subject("X", SubjectKind.PROVIDER).name
+    'X'
+    """
+
+    name: str
+    kind: SubjectKind = SubjectKind.PROVIDER
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AuthorizationError("subject name must be non-empty")
+        if self.name == ANY:
+            raise AuthorizationError(
+                "'any' is reserved for the default authorization subject"
+            )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Authorization:
+    """A rule ``[P, E] → S`` over one relation (Definition 2.1).
+
+    ``subject`` is a subject name, or :data:`ANY` for the default rule.
+    ``P`` and ``E`` must be disjoint subsets of the relation's attributes.
+    """
+
+    relation: str
+    plaintext: frozenset[str]
+    encrypted: frozenset[str]
+    subject: str
+
+    def __init__(self, relation: str | Relation,
+                 plaintext: Iterable[str],
+                 encrypted: Iterable[str],
+                 subject: str | Subject) -> None:
+        relation_name = relation.name if isinstance(relation, Relation) else relation
+        subject_name = subject.name if isinstance(subject, Subject) else subject
+        p = frozenset(plaintext)
+        e = frozenset(encrypted)
+        if p & e:
+            raise AuthorizationError(
+                f"P and E must be disjoint; overlap: {sorted(p & e)}"
+            )
+        if isinstance(relation, Relation):
+            unknown = (p | e) - relation.attribute_set
+            if unknown:
+                raise AuthorizationError(
+                    f"authorization over {relation_name} references unknown "
+                    f"attributes {sorted(unknown)}"
+                )
+        object.__setattr__(self, "relation", relation_name)
+        object.__setattr__(self, "plaintext", p)
+        object.__setattr__(self, "encrypted", e)
+        object.__setattr__(self, "subject", subject_name)
+
+    def describe(self) -> str:
+        """Render in the paper's ``[P,E]→S`` notation."""
+        p = "".join(sorted(self.plaintext))
+        e = "".join(sorted(self.encrypted))
+        return f"[{p},{e}]→{self.subject}"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class SubjectView:
+    """The overall view ``P_S`` / ``E_S`` of a subject (§4, Figure 4).
+
+    ``plaintext`` collects every attribute the subject may access in
+    plaintext across all relations; ``encrypted`` collects the attributes
+    accessible only in encrypted form.  Plaintext visibility subsumes
+    encrypted visibility (Def. 4.1, condition 2), which is why
+    :meth:`can_view_encrypted` also checks ``plaintext``.
+    """
+
+    subject: str
+    plaintext: frozenset[str] = frozenset()
+    encrypted: frozenset[str] = frozenset()
+
+    def can_view_plaintext(self, attribute: str) -> bool:
+        """Whether the subject may see ``attribute`` in plaintext."""
+        return attribute in self.plaintext
+
+    def can_view_encrypted(self, attribute: str) -> bool:
+        """Whether the subject may see ``attribute`` at least encrypted."""
+        return attribute in self.plaintext or attribute in self.encrypted
+
+    def describe(self) -> str:
+        """Render as in Figure 4, e.g. ``P_X=DT  E_X=SCP``."""
+        p = "".join(sorted(self.plaintext)) or "-"
+        e = "".join(sorted(self.encrypted)) or "-"
+        return f"P_{self.subject}={p}  E_{self.subject}={e}"
+
+
+@dataclass
+class Policy:
+    """All authorization rules in force, indexed by relation and subject.
+
+    At most one rule per (relation, subject) pair is allowed, as the paper
+    assumes ("for each relation, a subject can hold at most one
+    authorization").  The rule for :data:`ANY` applies to every subject
+    with no explicit rule on that relation (closed policy otherwise).
+    """
+
+    schema: Schema | None = None
+    _rules: dict[str, dict[str, Authorization]] = field(default_factory=dict)
+
+    def grant(self, authorization: Authorization) -> Authorization:
+        """Register one rule; rejects duplicates for the same pair."""
+        if self.schema is not None and authorization.relation not in self.schema:
+            raise AuthorizationError(
+                f"authorization references unknown relation "
+                f"{authorization.relation!r}"
+            )
+        if self.schema is not None:
+            relation = self.schema.relation(authorization.relation)
+            unknown = (
+                authorization.plaintext | authorization.encrypted
+            ) - relation.attribute_set
+            if unknown:
+                raise AuthorizationError(
+                    f"authorization over {authorization.relation} references "
+                    f"unknown attributes {sorted(unknown)}"
+                )
+        per_relation = self._rules.setdefault(authorization.relation, {})
+        if authorization.subject in per_relation:
+            raise AuthorizationError(
+                f"duplicate authorization for subject {authorization.subject} "
+                f"on relation {authorization.relation}"
+            )
+        per_relation[authorization.subject] = authorization
+        return authorization
+
+    def grant_all(self, authorizations: Iterable[Authorization]) -> None:
+        """Register many rules at once."""
+        for authorization in authorizations:
+            self.grant(authorization)
+
+    def rule_for(self, relation: str, subject: str | Subject) -> Authorization | None:
+        """The rule applying to ``subject`` on ``relation``.
+
+        Falls back to the relation's :data:`ANY` rule; returns ``None``
+        when the closed policy denies everything.
+        """
+        subject_name = subject.name if isinstance(subject, Subject) else subject
+        per_relation = self._rules.get(relation, {})
+        explicit = per_relation.get(subject_name)
+        if explicit is not None:
+            return explicit
+        return per_relation.get(ANY)
+
+    def view(self, subject: str | Subject) -> SubjectView:
+        """The overall view ``P_S`` / ``E_S`` of ``subject`` (Figure 4)."""
+        subject_name = subject.name if isinstance(subject, Subject) else subject
+        plaintext: set[str] = set()
+        encrypted: set[str] = set()
+        for relation in self._rules:
+            rule = self.rule_for(relation, subject_name)
+            if rule is not None:
+                plaintext |= rule.plaintext
+                encrypted |= rule.encrypted
+        # Plaintext subsumes encrypted: normalise so the sets are disjoint.
+        encrypted -= plaintext
+        return SubjectView(
+            subject=subject_name,
+            plaintext=frozenset(plaintext),
+            encrypted=frozenset(encrypted),
+        )
+
+    def relations(self) -> frozenset[str]:
+        """Relations with at least one rule."""
+        return frozenset(self._rules)
+
+    def subjects(self) -> frozenset[str]:
+        """Subjects explicitly named in some rule (excluding ``any``)."""
+        names: set[str] = set()
+        for per_relation in self._rules.values():
+            names |= set(per_relation) - {ANY}
+        return frozenset(names)
+
+    def rules(self) -> Iterator[Authorization]:
+        """Iterate over every registered rule."""
+        for per_relation in self._rules.values():
+            yield from per_relation.values()
+
+    def describe(self) -> str:
+        """Multi-line rendering of all rules in paper notation."""
+        lines = []
+        for relation in sorted(self._rules):
+            for subject in sorted(self._rules[relation]):
+                rule = self._rules[relation][subject]
+                lines.append(f"{relation}: {rule.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,206 @@
+"""Authorized visibility and operation assignment (Section 4).
+
+Implements Definition 4.1 (when a subject is *authorized for a relation*,
+given its profile) and Definition 4.2 (when a subject is an *authorized
+assignee* of a plan operation, i.e. authorized for the operands and for the
+produced relation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.authorization import Policy, Subject, SubjectView
+from repro.core.lineage import augment_view, derived_lineage
+from repro.core.operators import PlanNode
+from repro.core.plan import QueryPlan
+from repro.core.profile import RelationProfile
+from repro.exceptions import UnauthorizedError
+
+
+@dataclass(frozen=True)
+class AuthorizationCheck:
+    """Outcome of a Definition 4.1 check, with per-condition diagnostics.
+
+    ``violations`` lists human-readable reasons, each tagged with the
+    failing condition number of Definition 4.1.
+    """
+
+    subject: str
+    authorized: bool
+    violations: tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.authorized
+
+
+def check_relation(view: SubjectView,
+                   profile: RelationProfile) -> AuthorizationCheck:
+    """Evaluate Definition 4.1 for a subject view and a relation profile.
+
+    The three conditions:
+
+    1. ``Rvp ∪ Rip ⊆ P_S`` — authorized for plaintext;
+    2. ``Rve ∪ Rie ⊆ P_S ∪ E_S`` — authorized for encrypted;
+    3. ``∀A ∈ R≃: A ⊆ P_S or A ⊆ E_S`` — uniform visibility.
+
+    Examples
+    --------
+    Example 4.1 of the paper: given Y's view ``P_Y=BDTP, E_Y=SC`` and a
+    relation with profile ``[P, BSC, -, -, {SC}]``, Y is authorized:
+
+    >>> from repro.core.authorization import SubjectView
+    >>> from repro.core.profile import RelationProfile
+    >>> from repro.core.equivalence import EquivalenceClasses
+    >>> y = SubjectView("Y", frozenset("BDTP"), frozenset("SC"))
+    >>> r = RelationProfile(frozenset("P"), frozenset("BSC"),
+    ...                     equivalences=EquivalenceClasses.of("SC"))
+    >>> check_relation(y, r).authorized
+    True
+    """
+    violations: list[str] = []
+
+    plaintext_needed = profile.visible_plaintext | profile.implicit_plaintext
+    not_plain = plaintext_needed - view.plaintext
+    if not_plain:
+        violations.append(
+            f"condition 1: no plaintext authorization for {sorted(not_plain)}"
+        )
+
+    encrypted_needed = profile.visible_encrypted | profile.implicit_encrypted
+    not_enc = encrypted_needed - (view.plaintext | view.encrypted)
+    if not_enc:
+        violations.append(
+            f"condition 2: no visibility authorization for {sorted(not_enc)}"
+        )
+
+    for eq_class in profile.equivalences:
+        if not (eq_class <= view.plaintext or eq_class <= view.encrypted):
+            violations.append(
+                "condition 3: non-uniform visibility over "
+                f"{{{','.join(sorted(eq_class))}}}"
+            )
+
+    return AuthorizationCheck(
+        subject=view.subject,
+        authorized=not violations,
+        violations=tuple(violations),
+    )
+
+
+def is_authorized_for_relation(view: SubjectView,
+                               profile: RelationProfile) -> bool:
+    """Boolean form of :func:`check_relation` (Definition 4.1)."""
+    return check_relation(view, profile).authorized
+
+
+def require_authorized(view: SubjectView, profile: RelationProfile,
+                       context: str = "relation") -> None:
+    """Raise :class:`UnauthorizedError` unless Definition 4.1 holds."""
+    check = check_relation(view, profile)
+    if not check.authorized:
+        raise UnauthorizedError(
+            f"subject {view.subject} is not authorized for {context}: "
+            + "; ".join(check.violations),
+            subject=view.subject,
+            violations=check.violations,
+        )
+
+
+def check_assignee(view: SubjectView, node: PlanNode,
+                   operand_profiles: Iterable[RelationProfile],
+                   result_profile: RelationProfile) -> AuthorizationCheck:
+    """Evaluate Definition 4.2: authorized for operands *and* result."""
+    violations: list[str] = []
+    for index, operand in enumerate(operand_profiles):
+        check = check_relation(view, operand)
+        if not check.authorized:
+            violations.extend(
+                f"operand {index}: {reason}" for reason in check.violations
+            )
+    result_check = check_relation(view, result_profile)
+    if not result_check.authorized:
+        violations.extend(
+            f"result: {reason}" for reason in result_check.violations
+        )
+    return AuthorizationCheck(
+        subject=view.subject,
+        authorized=not violations,
+        violations=tuple(violations),
+    )
+
+
+def is_authorized_assignee(view: SubjectView, node: PlanNode,
+                           operand_profiles: Iterable[RelationProfile],
+                           result_profile: RelationProfile) -> bool:
+    """Boolean form of :func:`check_assignee` (Definition 4.2)."""
+    return check_assignee(view, node, operand_profiles, result_profile).authorized
+
+
+def authorized_assignees(plan: QueryPlan, policy: Policy,
+                         subjects: Iterable[Subject | str],
+                         ) -> dict[PlanNode, frozenset[str]]:
+    """Authorized assignees of every operation of ``plan`` (Figure 3).
+
+    Evaluates Definition 4.2 against the plan's *actual* profiles — i.e.
+    without assuming any additional encryption.  (The candidate sets of
+    Definition 5.3, which do assume encryption-on-the-fly, live in
+    :mod:`repro.core.candidates`.)
+    """
+    profiles = plan.profiles()
+    lineage = derived_lineage(plan)
+    views = [
+        augment_view(
+            policy.view(s.name if isinstance(s, Subject) else s), lineage
+        )
+        for s in subjects
+    ]
+    result: dict[PlanNode, frozenset[str]] = {}
+    for node in plan.operations():
+        operand_profiles = [profiles[child] for child in node.children]
+        result_profile = profiles[node]
+        result[node] = frozenset(
+            view.subject for view in views
+            if is_authorized_assignee(view, node, operand_profiles,
+                                      result_profile)
+        )
+    return result
+
+
+def verify_assignment(plan: QueryPlan, policy: Policy,
+                      assignment: Mapping[PlanNode, str]) -> bool:
+    """Whether ``assignment`` is an authorized assignment function (Def. 4.2).
+
+    ``assignment`` must cover every non-leaf node of ``plan``.  Raises
+    :class:`UnauthorizedError` naming the first violating node otherwise.
+    """
+    profiles = plan.profiles()
+    lineage = derived_lineage(plan)
+    for node in plan.operations():
+        subject = None
+        for key, value in assignment.items():
+            if key is node:
+                subject = value
+                break
+        if subject is None:
+            raise UnauthorizedError(
+                f"assignment does not cover operation {node.label()}"
+            )
+        if subject.startswith("authority:"):
+            # Synthetic owner of a base relation: authorized for its own
+            # content by definition (§2); used when no explicit owner
+            # subject was supplied.
+            continue
+        view = augment_view(policy.view(subject), lineage)
+        check = check_assignee(
+            view, node, [profiles[c] for c in node.children], profiles[node]
+        )
+        if not check.authorized:
+            raise UnauthorizedError(
+                f"subject {subject} is not an authorized assignee of "
+                f"{node.label()}: " + "; ".join(check.violations),
+                subject=subject,
+                violations=check.violations,
+            )
+    return True

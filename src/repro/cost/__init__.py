@@ -1,0 +1,18 @@
+"""Economic cost substrate for the §7 experiments.
+
+Cardinality/size/CPU estimation (standing in for the PostgreSQL
+optimizer), provider price lists with the paper's 10×/3× user/authority
+ratios, the 10 Gbps / 100 Mbps network topology, and the
+``Cq = Σ Ccpu + Cio + Cnet_io`` cost model.
+"""
+
+from repro.cost.estimator import NodeEstimate, PlanEstimator
+from repro.cost.model import CostBreakdown, CostModel, normalized_costs
+from repro.cost.network import NetworkTopology
+from repro.cost.pricing import PriceList, ResourceRates, provider_rates
+
+__all__ = [
+    "CostBreakdown", "CostModel", "NetworkTopology", "NodeEstimate",
+    "PlanEstimator", "PriceList", "ResourceRates", "normalized_costs",
+    "provider_rates",
+]

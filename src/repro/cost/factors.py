@@ -1,0 +1,83 @@
+"""Calibration constants for the cost estimator.
+
+Per-tuple CPU costs follow the usual textbook operator model (hash-based
+join and aggregation, streaming selection/projection); per-value
+encryption costs follow the "common benchmarks" the paper cites for its
+four schemes: symmetric encryption is effectively free, OPE costs two
+orders of magnitude more, Paillier another two (asymmetric modular
+exponentiation).  Ciphertext expansions mirror the actual sizes produced
+by :mod:`repro.crypto` ("our implementation also considered the increase
+in size that may derive from the application of encryption").
+"""
+
+from __future__ import annotations
+
+from repro.core.requirements import EncryptionScheme
+
+# ---------------------------------------------------------------------------
+# Per-tuple operator costs, in CPU seconds, calibrated against PostgreSQL
+# on a 1 GB TPC-H database (the paper's estimates came from the
+# PostgreSQL optimizer): a full scan of lineitem takes tens of seconds,
+# i.e. a few microseconds per tuple per operator.
+# ---------------------------------------------------------------------------
+SCAN_SECONDS_PER_ROW = 2.5e-6
+PREDICATE_SECONDS_PER_ROW = 3.0e-6
+PROJECT_SECONDS_PER_ROW = 1.0e-6
+HASH_SECONDS_PER_ROW = 8.0e-6
+OUTPUT_SECONDS_PER_ROW = 2.5e-6
+AGGREGATE_SECONDS_PER_ROW = 4.0e-6
+#: The paper singles out udfs as "typically computationally-intensive".
+UDF_SECONDS_PER_ROW = 2.0e-4
+
+#: Cap on nested-loop (non-equi) join work, in row-pairs.
+NESTED_LOOP_PAIR_SECONDS = 1.0e-7
+
+# ---------------------------------------------------------------------------
+# Per-value encryption/decryption costs, in CPU seconds, following the
+# "common benchmarks" of §7: AES-class symmetric encryption is almost
+# free (AES-NI: GB/s), OPE costs two to three orders of magnitude more,
+# and Paillier encryption assumes precomputed randomness (r^n computed
+# offline leaves ~two modular multiplications per value); Paillier
+# decryption has no such shortcut.
+# ---------------------------------------------------------------------------
+ENCRYPT_SECONDS_PER_VALUE = {
+    EncryptionScheme.RANDOMIZED: 2.0e-8,
+    EncryptionScheme.DETERMINISTIC: 2.0e-8,
+    EncryptionScheme.OPE: 1.0e-5,
+    EncryptionScheme.PAILLIER: 5.0e-5,
+}
+DECRYPT_SECONDS_PER_VALUE = {
+    EncryptionScheme.RANDOMIZED: 2.0e-8,
+    EncryptionScheme.DETERMINISTIC: 2.0e-8,
+    EncryptionScheme.OPE: 2.0e-5,
+    EncryptionScheme.PAILLIER: 1.0e-3,
+}
+#: Homomorphic addition of two Paillier ciphertexts (one modular multiply).
+PAILLIER_ADD_SECONDS = 1.0e-5
+
+# ---------------------------------------------------------------------------
+# Ciphertext sizes, in bytes ("our implementation also considered the
+# increase in size that may derive from the application of encryption").
+# AES-class ciphers emit whole 16-byte blocks; randomized modes add an IV.
+# ---------------------------------------------------------------------------
+CIPHER_BLOCK_BYTES = 16
+RANDOMIZED_IV_BYTES = 12
+#: OPE tokens are 64-bit range points.
+OPE_TOKEN_BYTES = 8
+#: Paillier ciphertexts live mod n² (512-bit n in the simulator).
+PAILLIER_CIPHERTEXT_BYTES = 128
+
+
+def _blocks(plain_width: int) -> int:
+    return CIPHER_BLOCK_BYTES * max(1, -(-plain_width // CIPHER_BLOCK_BYTES))
+
+
+def encrypted_width(scheme: EncryptionScheme, plain_width: int) -> int:
+    """Stored width of one value encrypted under ``scheme``."""
+    if scheme is EncryptionScheme.DETERMINISTIC:
+        return _blocks(plain_width)
+    if scheme is EncryptionScheme.RANDOMIZED:
+        return RANDOMIZED_IV_BYTES + _blocks(plain_width)
+    if scheme is EncryptionScheme.OPE:
+        return OPE_TOKEN_BYTES
+    return PAILLIER_CIPHERTEXT_BYTES

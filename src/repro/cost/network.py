@@ -1,0 +1,73 @@
+"""Network topology of the §7 experiments.
+
+"The network configuration assumed the authorities controlling the data
+and the cloud providers to be connected by high-bandwidth (10 Gbps)
+connections; the client was assumed to be connected to both with a
+lower-bandwidth (100 Mbps) connection."  The topology affects elapsed
+time (used for the performance-threshold variant of the optimizer); the
+monetary cost of a transfer is volume × the sender's egress price and is
+computed by the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import EstimationError
+
+#: Default link speeds, in bits per second.
+BACKBONE_BPS = 10_000_000_000  # 10 Gbps between providers/authorities
+CLIENT_BPS = 100_000_000       # 100 Mbps to/from the user
+
+
+@dataclass
+class NetworkTopology:
+    """Pairwise bandwidth between subjects.
+
+    ``client_subjects`` are reachable only through the slow client link
+    (the querying user); every other pair uses the backbone.  Explicit
+    per-pair overrides are possible for what-if experiments.
+    """
+
+    client_subjects: frozenset[str] = frozenset()
+    backbone_bps: float = BACKBONE_BPS
+    client_bps: float = CLIENT_BPS
+    overrides: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    @classmethod
+    def paper_defaults(cls, user: str) -> "NetworkTopology":
+        """10 Gbps backbone, 100 Mbps user link (§7)."""
+        return cls(client_subjects=frozenset({user}))
+
+    def bandwidth_bps(self, sender: str, receiver: str) -> float:
+        """Link bandwidth between two subjects, in bits per second."""
+        if sender == receiver:
+            return float("inf")
+        for pair in ((sender, receiver), (receiver, sender)):
+            if pair in self.overrides:
+                return self.overrides[pair]
+        if sender in self.client_subjects or receiver in self.client_subjects:
+            return self.client_bps
+        return self.backbone_bps
+
+    def transfer_seconds(self, volume_bytes: float, sender: str,
+                         receiver: str) -> float:
+        """Time to move ``volume_bytes`` from ``sender`` to ``receiver``."""
+        if volume_bytes < 0:
+            raise EstimationError("negative transfer volume")
+        if sender == receiver:
+            return 0.0
+        bandwidth = self.bandwidth_bps(sender, receiver)
+        return volume_bytes * 8.0 / bandwidth
+
+    def with_override(self, sender: str, receiver: str,
+                      bandwidth_bps: float) -> "NetworkTopology":
+        """A copy with one link's bandwidth replaced."""
+        overrides = dict(self.overrides)
+        overrides[(sender, receiver)] = bandwidth_bps
+        return NetworkTopology(
+            client_subjects=self.client_subjects,
+            backbone_bps=self.backbone_bps,
+            client_bps=self.client_bps,
+            overrides=overrides,
+        )

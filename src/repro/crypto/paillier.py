@@ -1,0 +1,156 @@
+"""The Paillier additively homomorphic cryptosystem.
+
+Used by the paper's tool to evaluate ``sum``/``avg`` aggregates over
+encrypted values (§7).  This is a complete textbook implementation with
+the usual ``g = n + 1`` simplification:
+
+* ``Enc(m) = (n+1)^m · r^n  mod n²``
+* ``Enc(a) · Enc(b) = Enc(a + b)`` — homomorphic addition
+* ``Enc(a)^k = Enc(a · k)`` — plaintext multiplication
+
+Fixed-point scaling supports decimal values (TPC-H prices), and negative
+numbers are represented in the upper half of the plaintext space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import primitives
+from repro.exceptions import CryptoError
+
+#: Fixed-point scale for fractional plaintexts (six decimal digits).
+FIXED_POINT_SCALE = 10 ** 6
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Public parameters ``(n, n²)``."""
+
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    def encrypt(self, value: int | float) -> "PaillierCiphertext":
+        """Encrypt a number (floats are fixed-point scaled)."""
+        message = _encode(value, self.n)
+        r = self._random_unit()
+        n2 = self.n_squared
+        cipher = (pow(self.n + 1, message, n2) * pow(r, self.n, n2)) % n2
+        return PaillierCiphertext(self, cipher)
+
+    def _random_unit(self) -> int:
+        while True:
+            r = int.from_bytes(
+                primitives.random_bytes((self.n.bit_length() + 7) // 8), "big"
+            ) % self.n
+            if r > 1:
+                return r
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Private parameters (``λ = lcm(p-1, q-1)``, ``µ = λ⁻¹ mod n``)."""
+
+    public: PaillierPublicKey
+    lam: int
+    mu: int
+
+    def decrypt(self, ciphertext: "PaillierCiphertext") -> float | int:
+        """Recover the (possibly fractional, possibly negative) plaintext."""
+        if ciphertext.public.n != self.public.n:
+            raise CryptoError("ciphertext under a different Paillier key")
+        n = self.public.n
+        n2 = self.public.n_squared
+        u = pow(ciphertext.value, self.lam, n2)
+        message = ((u - 1) // n * self.mu) % n
+        return _decode(message, n)
+
+    def decrypt_raw(self, ciphertext: "PaillierCiphertext") -> int:
+        """Recover the raw fixed-point integer (no descaling)."""
+        if ciphertext.public.n != self.public.n:
+            raise CryptoError("ciphertext under a different Paillier key")
+        n = self.public.n
+        n2 = self.public.n_squared
+        u = pow(ciphertext.value, self.lam, n2)
+        message = ((u - 1) // n * self.mu) % n
+        if message > n // 2:
+            message -= n
+        return message
+
+
+@dataclass(frozen=True)
+class PaillierCiphertext:
+    """A ciphertext with its public key, supporting ``+`` and ``*``."""
+
+    public: PaillierPublicKey
+    value: int
+
+    def __add__(self, other: "PaillierCiphertext") -> "PaillierCiphertext":
+        if not isinstance(other, PaillierCiphertext):
+            return NotImplemented
+        if other.public.n != self.public.n:
+            raise CryptoError("cannot add ciphertexts under different keys")
+        return PaillierCiphertext(
+            self.public, (self.value * other.value) % self.public.n_squared
+        )
+
+    def add_plain(self, value: int | float) -> "PaillierCiphertext":
+        """Homomorphically add a plaintext constant."""
+        message = _encode(value, self.public.n)
+        n2 = self.public.n_squared
+        return PaillierCiphertext(
+            self.public,
+            (self.value * pow(self.public.n + 1, message, n2)) % n2,
+        )
+
+    def multiply_plain(self, factor: int) -> "PaillierCiphertext":
+        """Homomorphically multiply by a plaintext integer."""
+        if not isinstance(factor, int):
+            raise CryptoError("plaintext factors must be integers")
+        exponent = factor % self.public.n
+        return PaillierCiphertext(
+            self.public, pow(self.value, exponent, self.public.n_squared)
+        )
+
+
+def generate_keypair(bits: int = 512) -> tuple[PaillierPublicKey, PaillierPrivateKey]:
+    """Generate a Paillier keypair with an ``bits``-bit modulus.
+
+    512 bits keeps tests fast; real deployments use 2048+.
+    """
+    half = bits // 2
+    while True:
+        p = primitives.generate_prime(half)
+        q = primitives.generate_prime(half)
+        if p != q:
+            break
+    n = p * q
+    lam = _lcm(p - 1, q - 1)
+    mu = primitives.modinv(lam, n)
+    public = PaillierPublicKey(n)
+    return public, PaillierPrivateKey(public, lam, mu)
+
+
+def _lcm(a: int, b: int) -> int:
+    import math
+
+    return a * b // math.gcd(a, b)
+
+
+def _encode(value: int | float, n: int) -> int:
+    """Fixed-point encode; negatives go to the upper half of Z_n."""
+    scaled = round(value * FIXED_POINT_SCALE)
+    if abs(scaled) > n // 4:
+        raise CryptoError(f"plaintext {value} out of range for modulus")
+    return scaled % n
+
+
+def _decode(message: int, n: int) -> float | int:
+    if message > n // 2:
+        message -= n
+    if message % FIXED_POINT_SCALE == 0:
+        return message // FIXED_POINT_SCALE
+    return message / FIXED_POINT_SCALE

@@ -1,0 +1,172 @@
+"""Low-level cryptographic building blocks.
+
+The sandbox offers no AES implementation, so the symmetric ciphers are
+built from HMAC-SHA256 as a PRF: an HMAC-derived keystream XORed over the
+plaintext, plus an HMAC tag for integrity.  This preserves the functional
+contract the paper relies on (key-dependent, invertible, deterministic or
+randomized per mode) and gives the cost model a measurable cost per byte.
+
+Also provides canonical value encodings (values of any supported type to
+bytes and back), random key material, and Miller-Rabin prime generation
+for the Paillier and RSA modules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import struct
+from datetime import date
+
+from repro.exceptions import CryptoError
+
+_BLOCK = 32  # SHA-256 output size
+
+#: Type tags for the canonical value encoding.
+_TAG_NONE = b"N"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"F"
+_TAG_STR = b"S"
+_TAG_DATE = b"D"
+_TAG_BYTES = b"B"
+
+
+def random_bytes(length: int) -> bytes:
+    """Cryptographically secure random bytes."""
+    return os.urandom(length)
+
+
+def generate_key(length: int = 32) -> bytes:
+    """A fresh symmetric key."""
+    return random_bytes(length)
+
+
+def prf(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA256 pseudo-random function."""
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+def keystream(key: bytes, iv: bytes, length: int) -> bytes:
+    """A deterministic keystream of ``length`` bytes from (key, iv)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out += prf(key, iv + struct.pack(">Q", counter))
+        counter += 1
+    return bytes(out[:length])
+
+
+def xor_bytes(left: bytes, right: bytes) -> bytes:
+    """Bytewise XOR of two equal-length strings."""
+    if len(left) != len(right):
+        raise CryptoError("xor operands must have equal length")
+    return bytes(a ^ b for a, b in zip(left, right))
+
+
+def encode_value(value: object) -> bytes:
+    """Canonical, type-tagged byte encoding of a supported value.
+
+    Supports ``None``, ``int``, ``float``, ``str``, ``bytes``, and
+    :class:`datetime.date`.  The encoding is injective per type, so
+    deterministic encryption preserves equality semantics exactly.
+    """
+    if value is None:
+        return _TAG_NONE
+    if isinstance(value, bool):
+        return _TAG_INT + struct.pack(">q", int(value))
+    if isinstance(value, int):
+        if -(2 ** 63) <= value < 2 ** 63:
+            return _TAG_INT + struct.pack(">q", value)
+        raise CryptoError(f"integer out of encodable range: {value}")
+    if isinstance(value, float):
+        return _TAG_FLOAT + struct.pack(">d", value)
+    if isinstance(value, str):
+        return _TAG_STR + value.encode("utf-8")
+    if isinstance(value, date):
+        return _TAG_DATE + struct.pack(">q", value.toordinal())
+    if isinstance(value, bytes):
+        return _TAG_BYTES + value
+    raise CryptoError(f"unsupported value type: {type(value).__name__}")
+
+
+def decode_value(data: bytes) -> object:
+    """Inverse of :func:`encode_value`."""
+    if not data:
+        raise CryptoError("empty encoded value")
+    tag, body = data[:1], data[1:]
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_INT:
+        return struct.unpack(">q", body)[0]
+    if tag == _TAG_FLOAT:
+        return struct.unpack(">d", body)[0]
+    if tag == _TAG_STR:
+        return body.decode("utf-8")
+    if tag == _TAG_DATE:
+        return date.fromordinal(struct.unpack(">q", body)[0])
+    if tag == _TAG_BYTES:
+        return body
+    raise CryptoError(f"unknown type tag {tag!r}")
+
+
+def _is_probable_prime(candidate: int, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test."""
+    if candidate < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for p in small_primes:
+        if candidate % p == 0:
+            return candidate == p
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = int.from_bytes(random_bytes(16), "big") % (candidate - 3) + 2
+        x = pow(a, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int) -> int:
+    """A random probable prime of exactly ``bits`` bits."""
+    if bits < 8:
+        raise CryptoError("prime size too small")
+    while True:
+        candidate = int.from_bytes(random_bytes((bits + 7) // 8), "big")
+        candidate |= (1 << (bits - 1)) | 1  # force exact bit length, odd
+        candidate &= (1 << bits) - 1
+        if _is_probable_prime(candidate):
+            return candidate
+
+
+def modinv(a: int, m: int) -> int:
+    """Modular inverse via the extended Euclid algorithm."""
+    g, x = _extended_gcd(a % m, m)
+    if g != 1:
+        raise CryptoError("modular inverse does not exist")
+    return x % m
+
+
+def _extended_gcd(a: int, b: int) -> tuple[int, int]:
+    old_r, r = a, b
+    old_s, s = 1, 0
+    while r:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_s, s = s, old_s - quotient * s
+    return old_r, old_s
+
+
+def constant_time_equal(left: bytes, right: bytes) -> bool:
+    """Timing-safe byte-string comparison."""
+    return hmac.compare_digest(left, right)

@@ -1,0 +1,118 @@
+"""RSA signatures and hybrid encryption for sub-query dispatch (§6).
+
+The paper dispatches each sub-query as ``[[q, keys] priU ] pubS``: signed
+with the user's private key (authenticity/integrity) and encrypted with
+the recipient's public key (confidentiality).  This module provides the
+matching primitives:
+
+* :func:`generate_keypair` — textbook RSA with Miller-Rabin primes;
+* :meth:`RsaPrivateKey.sign` / :meth:`RsaPublicKey.verify` — full-domain
+  hash signatures over SHA-256;
+* :meth:`RsaPublicKey.encrypt` / :meth:`RsaPrivateKey.decrypt` — hybrid
+  encryption (RSA-wrapped fresh symmetric key + randomized stream body),
+  so payloads of any size are supported.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+from repro.crypto import primitives
+from repro.crypto.symmetric import RandomizedCipher
+from repro.exceptions import CryptoError
+
+#: Standard public exponent.
+PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """Public half of an RSA keypair."""
+
+    n: int
+    e: int = PUBLIC_EXPONENT
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Whether ``signature`` is valid for ``message``."""
+        try:
+            sig_int = int.from_bytes(signature, "big")
+        except (TypeError, ValueError):
+            return False
+        if not 0 < sig_int < self.n:
+            return False
+        recovered = pow(sig_int, self.e, self.n)
+        return recovered == _digest_int(message, self.n)
+
+    def encrypt(self, payload: bytes) -> bytes:
+        """Hybrid-encrypt ``payload`` for the key's owner."""
+        session_key = primitives.generate_key(32)
+        wrapped = pow(int.from_bytes(session_key, "big"), self.e, self.n)
+        wrapped_bytes = wrapped.to_bytes(_modulus_bytes(self.n), "big")
+        body = RandomizedCipher(session_key).encrypt(payload)
+        return struct.pack(">I", len(wrapped_bytes)) + wrapped_bytes + body
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """Private half of an RSA keypair."""
+
+    public: RsaPublicKey
+    d: int
+
+    def sign(self, message: bytes) -> bytes:
+        """Full-domain-hash signature over SHA-256."""
+        digest = _digest_int(message, self.public.n)
+        signature = pow(digest, self.d, self.public.n)
+        return signature.to_bytes(_modulus_bytes(self.public.n), "big")
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Invert :meth:`RsaPublicKey.encrypt`."""
+        if len(ciphertext) < 4:
+            raise CryptoError("truncated hybrid ciphertext")
+        (wrapped_len,) = struct.unpack(">I", ciphertext[:4])
+        if len(ciphertext) < 4 + wrapped_len:
+            raise CryptoError("truncated hybrid ciphertext")
+        wrapped = int.from_bytes(ciphertext[4:4 + wrapped_len], "big")
+        session_int = pow(wrapped, self.d, self.public.n)
+        session_key = session_int.to_bytes(32, "big")
+        body = ciphertext[4 + wrapped_len:]
+        plaintext = RandomizedCipher(session_key).decrypt(body)
+        if not isinstance(plaintext, bytes):
+            raise CryptoError("hybrid payload must decode to bytes")
+        return plaintext
+
+
+def generate_keypair(bits: int = 1024) -> tuple[RsaPublicKey, RsaPrivateKey]:
+    """Generate an RSA keypair (1024 bits keeps the simulator snappy)."""
+    while True:
+        p = primitives.generate_prime(bits // 2)
+        q = primitives.generate_prime(bits // 2)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        try:
+            d = primitives.modinv(PUBLIC_EXPONENT, phi)
+        except CryptoError:
+            continue
+        public = RsaPublicKey(n=n)
+        return public, RsaPrivateKey(public=public, d=d)
+
+
+def _digest_int(message: bytes, modulus: int) -> int:
+    """SHA-256 digest expanded to the modulus size (full-domain hash)."""
+    width = _modulus_bytes(modulus)
+    out = bytearray()
+    counter = 0
+    while len(out) < width:
+        out += hashlib.sha256(
+            message + struct.pack(">I", counter)
+        ).digest()
+        counter += 1
+    return int.from_bytes(bytes(out[:width]), "big") % modulus
+
+
+def _modulus_bytes(modulus: int) -> int:
+    return (modulus.bit_length() + 7) // 8

@@ -1,0 +1,26 @@
+"""Distributed execution simulator: subjects, envelopes, enforcement.
+
+Runs a dispatched query across simulated subjects with real signed and
+encrypted sub-query envelopes, per-subject key stores, and runtime
+re-checking of the paper's authorization conditions.
+"""
+
+from repro.distributed.messages import (
+    SubQueryPayload,
+    decode_payload,
+    encode_payload,
+    open_envelope,
+    seal_envelope,
+)
+from repro.distributed.runtime import (
+    DistributedRuntime,
+    ExecutionTrace,
+    SubjectNode,
+    build_runtime,
+)
+
+__all__ = [
+    "DistributedRuntime", "ExecutionTrace", "SubQueryPayload",
+    "SubjectNode", "build_runtime", "decode_payload", "encode_payload",
+    "open_envelope", "seal_envelope",
+]

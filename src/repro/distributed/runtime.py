@@ -1,0 +1,264 @@
+"""Simulated multi-provider query execution with runtime enforcement.
+
+Each subject of the scenario becomes a :class:`SubjectNode` with its own
+RSA keypair, its own stored tables (for data authorities), and — crucially
+— only the query keys its envelope delivered.  The
+:class:`DistributedRuntime` drives a dispatch plan the way §6 describes:
+the user seals one envelope per fragment; each subject opens its envelope,
+verifies the user's signature, pulls its input fragments from the subjects
+below, and evaluates its own operators locally.
+
+Two enforcement layers make violations fail loudly rather than silently:
+
+* **model-level** — before producing a relation, a subject re-checks
+  Definition 4.1 against the relation's profile;
+* **value-level** — on receiving a table, a subject verifies it can
+  legitimately see every column in the representation it arrives in
+  (plaintext columns require plaintext authorization, encrypted columns
+  at least encrypted authorization).
+
+Together they turn the paper's theorems into executable assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.authorization import Policy, Subject, SubjectView
+from repro.core.dispatch import DispatchPlan, SubQuery
+from repro.core.extension import ExtendedPlan
+from repro.core.keys import KeyAssignment
+from repro.core.lineage import Lineage, augment_view, derived_lineage
+from repro.core.operators import BaseRelationNode, PlanNode
+from repro.core.visibility import check_relation
+from repro.crypto.keymanager import DistributedKeys, KeyStore
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
+from repro.distributed.messages import (
+    SubQueryPayload,
+    open_envelope,
+    seal_envelope,
+)
+from repro.engine.executor import Executor, UdfCallable
+from repro.engine.table import Table
+from repro.engine.values import EncryptedAggregate, EncryptedValue
+from repro.exceptions import DispatchError, UnauthorizedError
+
+
+@dataclass
+class SubjectNode:
+    """One participant: identity, RSA keys, stored data, local state."""
+
+    subject: Subject
+    rsa_public: RsaPublicKey
+    rsa_private: RsaPrivateKey
+    tables: dict[str, Table] = field(default_factory=dict)
+    udfs: dict[str, UdfCallable] = field(default_factory=dict)
+
+    @classmethod
+    def create(cls, subject: Subject,
+               tables: Mapping[str, Table] | None = None,
+               udfs: Mapping[str, UdfCallable] | None = None,
+               rsa_bits: int = 1024) -> "SubjectNode":
+        """Create a node with a fresh RSA keypair."""
+        public, private = generate_keypair(rsa_bits)
+        return cls(
+            subject=subject,
+            rsa_public=public,
+            rsa_private=private,
+            tables=dict(tables or {}),
+            udfs=dict(udfs or {}),
+        )
+
+    @property
+    def name(self) -> str:
+        return self.subject.name
+
+
+@dataclass
+class ExecutionTrace:
+    """Observability: what moved where during a distributed run."""
+
+    messages: int = 0
+    envelope_bytes: int = 0
+    rows_transferred: int = 0
+    fragments_run: list[tuple[str, str]] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+
+
+class DistributedRuntime:
+    """Executes a dispatch plan across simulated subjects."""
+
+    def __init__(self, policy: Policy, nodes: Mapping[str, SubjectNode],
+                 user: str, enforce: bool = True) -> None:
+        self.policy = policy
+        self.nodes = dict(nodes)
+        self.user = user
+        self.enforce = enforce
+        if user not in self.nodes:
+            raise DispatchError(f"no runtime node for user {user!r}")
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self, dispatch_plan: DispatchPlan, extended: ExtendedPlan,
+            keys: KeyAssignment, distributed_keys: DistributedKeys,
+            ) -> tuple[Table, ExecutionTrace]:
+        """Seal envelopes, execute every fragment, return the result.
+
+        The user signs each fragment's payload and encrypts it for the
+        fragment's subject; fragments then execute demand-driven from the
+        root down, exactly like the nested ``req`` calls of Figure 8.
+        """
+        trace = ExecutionTrace()
+        user_node = self.nodes[self.user]
+        profiles = extended.plan.profiles()
+        self._lineage = derived_lineage(extended.plan)
+
+        envelopes: dict[str, bytes] = {}
+        for fragment in dispatch_plan.fragments.values():
+            subject_node = self._node_for(fragment.subject)
+            payload = SubQueryPayload(
+                fragment_id=fragment.fragment_id,
+                query_text=fragment.text,
+                keystore=distributed_keys.store_for(fragment.subject),
+            )
+            blob = seal_envelope(
+                payload, user_node.rsa_private, subject_node.rsa_public
+            )
+            envelopes[fragment.fragment_id] = blob
+            trace.messages += 1
+            trace.envelope_bytes += len(blob)
+
+        self._constant_store = distributed_keys.master
+        result = self._run_fragment(
+            dispatch_plan, dispatch_plan.root_fragment_id, envelopes,
+            profiles, trace,
+        )
+        # Final delivery to the user: the user must be entitled to the
+        # root relation, and to every column representation it contains.
+        if self.enforce:
+            root_view = augment_view(self.policy.view(self.user),
+                                     self._lineage)
+            self._check_profile(
+                root_view, profiles[extended.plan.root],
+                "query result", trace,
+            )
+            self._check_values(root_view, result, trace)
+        trace.rows_transferred += len(result)
+        return result, trace
+
+    # ------------------------------------------------------------------
+    # Fragment execution
+    # ------------------------------------------------------------------
+    def _run_fragment(self, dispatch_plan: DispatchPlan, fragment_id: str,
+                      envelopes: dict[str, bytes],
+                      profiles: Mapping[PlanNode, object],
+                      trace: ExecutionTrace) -> Table:
+        fragment = dispatch_plan.fragment(fragment_id)
+        node = self._node_for(fragment.subject)
+        payload = open_envelope(
+            envelopes[fragment_id], node.rsa_private,
+            self.nodes[self.user].rsa_public,
+        )
+        trace.fragments_run.append((fragment_id, fragment.subject))
+        view = augment_view(self.policy.view(fragment.subject),
+                            self._lineage)
+
+        # Pull the inputs produced by other subjects.
+        inputs: dict[int, Table] = {}
+        for boundary_id, child_fragment_id in fragment.requests.items():
+            table = self._run_fragment(
+                dispatch_plan, child_fragment_id, envelopes, profiles, trace
+            )
+            trace.messages += 1
+            trace.rows_transferred += len(table)
+            if self.enforce and not fragment.subject.startswith("authority:"):
+                self._check_values(view, table, trace)
+            inputs[boundary_id] = table
+
+        executor = Executor(
+            node.tables, keystore=payload.keystore, udfs=node.udfs,
+            constant_keystore=getattr(self, "_constant_store", None),
+        )
+        result = self._evaluate(fragment, fragment.root, executor, inputs,
+                                profiles, view, trace)
+        return result
+
+    def _evaluate(self, fragment: SubQuery, node: PlanNode,
+                  executor: Executor, inputs: dict[int, Table],
+                  profiles: Mapping[PlanNode, object],
+                  view: SubjectView, trace: ExecutionTrace) -> Table:
+        if id(node) in inputs:
+            return inputs[id(node)]
+        children = [
+            self._evaluate(fragment, child, executor, inputs, profiles,
+                           view, trace)
+            for child in node.children
+        ]
+        result = executor.execute_node(node, children)
+        if self.enforce and not isinstance(node, BaseRelationNode) \
+                and not fragment.subject.startswith("authority:"):
+            self._check_profile(
+                view, profiles[node], f"relation at {node.label()}", trace
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Enforcement
+    # ------------------------------------------------------------------
+    def _node_for(self, subject: str) -> SubjectNode:
+        if subject not in self.nodes:
+            raise DispatchError(f"no runtime node for subject {subject!r}")
+        return self.nodes[subject]
+
+    def _check_profile(self, view: SubjectView, profile, context: str,
+                       trace: ExecutionTrace) -> None:
+        check = check_relation(view, profile)
+        if not check.authorized:
+            trace.violations.extend(check.violations)
+            raise UnauthorizedError(
+                f"{view.subject} is not authorized for {context}: "
+                + "; ".join(check.violations),
+                subject=view.subject,
+                violations=check.violations,
+            )
+
+    def _check_values(self, view: SubjectView, table: Table,
+                      trace: ExecutionTrace) -> None:
+        """Value-level guard: representations must match authorizations."""
+        for column in table.columns:
+            values = table.column_values(column)
+            sample = next((v for v in values if v is not None), None)
+            if sample is None:
+                continue
+            if isinstance(sample, (EncryptedValue, EncryptedAggregate)):
+                if not view.can_view_encrypted(column):
+                    message = (f"{view.subject} received encrypted column "
+                               f"{column} without any authorization")
+                    trace.violations.append(message)
+                    raise UnauthorizedError(message, subject=view.subject)
+            else:
+                if not view.can_view_plaintext(column):
+                    message = (f"{view.subject} received plaintext column "
+                               f"{column} without plaintext authorization")
+                    trace.violations.append(message)
+                    raise UnauthorizedError(message, subject=view.subject)
+
+
+def build_runtime(policy: Policy, subjects: list[Subject],
+                  authority_tables: Mapping[str, Mapping[str, Table]],
+                  user: str,
+                  udfs: Mapping[str, UdfCallable] | None = None,
+                  rsa_bits: int = 512) -> DistributedRuntime:
+    """Convenience constructor: one node per subject, tables at owners.
+
+    ``authority_tables`` maps authority name → {relation name → table}.
+    """
+    nodes: dict[str, SubjectNode] = {}
+    for subject in subjects:
+        tables = authority_tables.get(subject.name, {})
+        nodes[subject.name] = SubjectNode.create(
+            subject, tables=tables, udfs=udfs, rsa_bits=rsa_bits
+        )
+    return DistributedRuntime(policy, nodes, user)

@@ -1,0 +1,16 @@
+"""In-memory relational engine with encrypted execution.
+
+Executes (extended) query plans over real tuples: relational operators
+work transparently over plaintext values and over the encrypted tokens
+produced by the Encrypt operator, with runtime capability checks that
+mirror the model (deterministic equality, OPE ranges, Paillier addition).
+"""
+
+from repro.engine.executor import Executor, decrypt_value, encrypt_value
+from repro.engine.table import Table
+from repro.engine.values import EncryptedAggregate, EncryptedValue
+
+__all__ = [
+    "EncryptedAggregate", "EncryptedValue", "Executor", "Table",
+    "decrypt_value", "encrypt_value",
+]

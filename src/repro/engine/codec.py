@@ -1,0 +1,113 @@
+"""Value-level encryption/decryption against key material.
+
+Shared by the executor (Encrypt/Decrypt operators) and the expression
+evaluator (note 2 of §5: a subject holding the covering key may evaluate
+a condition on plaintext values even when the plan carries the attribute
+encrypted, by decrypting locally).
+"""
+
+from __future__ import annotations
+
+from repro.core.requirements import EncryptionScheme
+from repro.crypto import primitives
+from repro.crypto.keymanager import KeyMaterial, KeyStore
+from repro.crypto.ope import OpeCipher
+from repro.crypto.symmetric import DeterministicCipher, RandomizedCipher
+from repro.engine.values import EncryptedAggregate, EncryptedValue
+from repro.exceptions import ExecutionError
+
+
+def encrypt_value(material: KeyMaterial, value: object) -> EncryptedValue:
+    """Encrypt one value under the scheme attached to ``material``."""
+    if isinstance(value, (EncryptedValue, EncryptedAggregate)):
+        raise ExecutionError("value is already encrypted")
+    scheme = material.scheme
+    if scheme is EncryptionScheme.PAILLIER:
+        if material.paillier_public is None:
+            raise ExecutionError(f"key {material.name} lacks Paillier parts")
+        if not isinstance(value, (int, float)):
+            raise ExecutionError("Paillier encrypts numeric values only")
+        return EncryptedValue(
+            key_name=material.name, scheme=scheme,
+            token=material.paillier_public.encrypt(value),
+        )
+    if material.symmetric is None:
+        raise ExecutionError(f"key {material.name} lacks symmetric material")
+    if scheme is EncryptionScheme.DETERMINISTIC:
+        token: object = DeterministicCipher(material.symmetric).encrypt(value)
+        return EncryptedValue(material.name, scheme, token)
+    if scheme is EncryptionScheme.RANDOMIZED:
+        token = RandomizedCipher(material.symmetric).encrypt(value)
+        return EncryptedValue(material.name, scheme, token)
+    if scheme is EncryptionScheme.OPE:
+        token = OpeCipher(material.symmetric).encrypt(value)
+        recovery = RandomizedCipher(
+            primitives.prf(material.symmetric, b"recovery")
+        ).encrypt(value)
+        return EncryptedValue(material.name, scheme, token, recovery)
+    raise ExecutionError(f"unsupported scheme {scheme}")
+
+
+def decrypt_value(material: KeyMaterial, value: object) -> object:
+    """Invert :func:`encrypt_value` (also resolves encrypted aggregates)."""
+    if isinstance(value, EncryptedAggregate):
+        if material.paillier_private is None:
+            raise ExecutionError(
+                f"key {material.name} lacks the Paillier private part"
+            )
+        total = material.paillier_private.decrypt(value.ciphertext_sum)
+        if value.is_average:
+            return total / value.count
+        return total
+    if not isinstance(value, EncryptedValue):
+        raise ExecutionError("value is not encrypted")
+    if value.key_name != material.name:
+        raise ExecutionError(
+            f"value encrypted under {value.key_name}, not {material.name}"
+        )
+    scheme = value.scheme
+    if scheme is EncryptionScheme.PAILLIER:
+        if material.paillier_private is None:
+            raise ExecutionError(
+                f"key {material.name} lacks the Paillier private part"
+            )
+        from repro.crypto.paillier import PaillierCiphertext
+
+        assert isinstance(value.token, PaillierCiphertext)
+        return material.paillier_private.decrypt(value.token)
+    if material.symmetric is None:
+        raise ExecutionError(f"key {material.name} lacks symmetric material")
+    if scheme is EncryptionScheme.DETERMINISTIC:
+        assert isinstance(value.token, bytes)
+        return DeterministicCipher(material.symmetric).decrypt(value.token)
+    if scheme is EncryptionScheme.RANDOMIZED:
+        assert isinstance(value.token, bytes)
+        return RandomizedCipher(material.symmetric).decrypt(value.token)
+    if scheme is EncryptionScheme.OPE:
+        if value.recovery is None:
+            raise ExecutionError("OPE value lacks its recovery ciphertext")
+        return RandomizedCipher(
+            primitives.prf(material.symmetric, b"recovery")
+        ).decrypt(value.recovery)
+    raise ExecutionError(f"unsupported scheme {scheme}")
+
+
+def try_decrypt(keystore: KeyStore | None, value: object) -> object:
+    """Decrypt ``value`` when the store holds its key; raise otherwise.
+
+    This is the note-2 path: a subject that knows the key can always fall
+    back to plaintext evaluation, whatever the scheme supports.
+    """
+    if not isinstance(value, (EncryptedValue, EncryptedAggregate)):
+        return value
+    if keystore is None:
+        raise ExecutionError("no keys held; cannot decrypt for evaluation")
+    if isinstance(value, EncryptedAggregate):
+        material = keystore.material(value.key_name)
+    else:
+        if value.key_name not in keystore.names():
+            raise ExecutionError(
+                f"key {value.key_name} not held; cannot decrypt"
+            )
+        material = keystore.material(value.key_name)
+    return decrypt_value(material, value)

@@ -1,0 +1,343 @@
+"""Plan execution over in-memory tables, plaintext or encrypted.
+
+The :class:`Executor` evaluates a (possibly extended) query plan against a
+catalog of base tables.  It understands the model's Encrypt/Decrypt
+operators — applying real ciphers from a :class:`KeyStore` — and executes
+relational operators over encrypted values whenever the scheme permits
+(deterministic equality, OPE ranges and min/max, Paillier sums/averages),
+so an extended plan produced by :func:`repro.core.extension.minimally_extend`
+runs end to end and produces the same answers as its plaintext original.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.operators import (
+    AggregateFunction,
+    BaseRelationNode,
+    CartesianProduct,
+    Decrypt,
+    Encrypt,
+    GroupBy,
+    Join,
+    PlanNode,
+    Projection,
+    Selection,
+    Udf,
+)
+from repro.core.plan import QueryPlan
+from repro.core.predicates import (
+    AttributeComparisonPredicate,
+    ComparisonOp,
+)
+from repro.core.requirements import EncryptionScheme
+from repro.crypto.keymanager import KeyStore
+from repro.engine.codec import decrypt_value, encrypt_value
+from repro.engine.expressions import (
+    ConstantEncryptor,
+    build_row_predicate,
+    compare_values,
+)
+from repro.engine.table import Table
+from repro.engine.values import EncryptedAggregate, EncryptedValue
+from repro.exceptions import ExecutionError
+
+#: A user-defined function: receives {input attribute: value}, returns one
+#: value (named after the node's output attribute).
+UdfCallable = Callable[[dict[str, object]], object]
+
+
+class Executor:
+    """Evaluates plans against a catalog of base tables.
+
+    Parameters
+    ----------
+    catalog:
+        Relation name → :class:`Table` holding its stored tuples.
+    keystore:
+        Key material available to this evaluator (encrypt/decrypt nodes
+        and encrypted constants need the covering keys).
+    udfs:
+        Udf name → callable.
+    """
+
+    def __init__(self, catalog: Mapping[str, Table],
+                 keystore: KeyStore | None = None,
+                 udfs: Mapping[str, UdfCallable] | None = None,
+                 constant_keystore: KeyStore | None = None) -> None:
+        self.catalog = dict(catalog)
+        self.keystore = keystore
+        self.udfs = dict(udfs or {})
+        # Constants in dispatched conditions arrive pre-encrypted by the
+        # user (Figure 8); simulate that with a dedicated store.
+        self._encryptor = ConstantEncryptor(constant_keystore or keystore)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def execute(self, plan: QueryPlan | PlanNode) -> Table:
+        """Evaluate a plan (or subtree) and return the result table."""
+        node = plan.root if isinstance(plan, QueryPlan) else plan
+        return self._execute(node)
+
+    def _execute(self, node: PlanNode) -> Table:
+        children = [self._execute(child) for child in node.children]
+        return self.execute_node(node, children)
+
+    def execute_node(self, node: PlanNode, children: list[Table]) -> Table:
+        """Evaluate one operator over already materialized operands."""
+        if isinstance(node, BaseRelationNode):
+            return self._scan(node)
+        if isinstance(node, Projection):
+            return self._project(node, children[0])
+        if isinstance(node, Selection):
+            return self._select(node, children[0])
+        if isinstance(node, CartesianProduct):
+            return self._product(children[0], children[1])
+        if isinstance(node, Join):
+            return self._join(node, children[0], children[1])
+        if isinstance(node, GroupBy):
+            return self._group_by(node, children[0])
+        if isinstance(node, Udf):
+            return self._udf(node, children[0])
+        if isinstance(node, Encrypt):
+            return self._encrypt(node, children[0])
+        if isinstance(node, Decrypt):
+            return self._decrypt(node, children[0])
+        raise ExecutionError(f"no execution rule for {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # Relational operators
+    # ------------------------------------------------------------------
+    def _scan(self, node: BaseRelationNode) -> Table:
+        name = node.relation.name
+        if name not in self.catalog:
+            raise ExecutionError(f"no table {name!r} in the catalog")
+        table = self.catalog[name]
+        ordered = [a for a in node.relation.attribute_names
+                   if a in node.projection]
+        if tuple(ordered) != table.columns:
+            return table.project(ordered)
+        return table
+
+    def _project(self, node: Projection, child: Table) -> Table:
+        ordered = [c for c in child.columns if c in node.attributes]
+        return child.project(ordered, name="π")
+
+    def _select(self, node: Selection, child: Table) -> Table:
+        keep = build_row_predicate(node.predicate, child.columns,
+                                   self._encryptor,
+                                   local_keystore=self.keystore)
+        return child.filter(keep, name="σ")
+
+    def _product(self, left: Table, right: Table) -> Table:
+        columns = left.columns + right.columns
+        rows = [lr + rr for lr in left.rows for rr in right.rows]
+        return Table("×", columns, rows)
+
+    def _join(self, node: Join, left: Table, right: Table) -> Table:
+        basics = list(node.condition.basic_conditions())
+        equalities: list[tuple[str, str]] = []
+        residual: list[AttributeComparisonPredicate] = []
+        for basic in basics:
+            assert isinstance(basic, AttributeComparisonPredicate)
+            if basic.op is ComparisonOp.EQ:
+                left_attr, right_attr = basic.left, basic.right
+                if left_attr in right.columns and right_attr in left.columns:
+                    left_attr, right_attr = right_attr, left_attr
+                if left_attr in left.columns and right_attr in right.columns:
+                    equalities.append((left_attr, right_attr))
+                    continue
+            residual.append(basic)
+
+        columns = left.columns + right.columns
+        if equalities:
+            rows = self._hash_join(left, right, equalities)
+        else:
+            rows = [lr + rr for lr in left.rows for rr in right.rows]
+        if residual:
+            positions = {c: i for i, c in enumerate(columns)}
+            filtered = []
+            for row in rows:
+                if all(
+                    compare_values(row[positions[b.left]], b.op,
+                                   row[positions[b.right]])
+                    for b in residual
+                ):
+                    filtered.append(row)
+            rows = filtered
+        return Table("⋈", columns, rows)
+
+    def _hash_join(self, left: Table, right: Table,
+                   equalities: list[tuple[str, str]]) -> list[tuple]:
+        left_positions = [left.column_position(l) for l, _ in equalities]
+        right_positions = [right.column_position(r) for _, r in equalities]
+        buckets: dict[tuple, list[tuple]] = {}
+        for row in left.rows:
+            key = tuple(_join_key(row[p]) for p in left_positions)
+            buckets.setdefault(key, []).append(row)
+        joined: list[tuple] = []
+        for row in right.rows:
+            key = tuple(_join_key(row[p]) for p in right_positions)
+            for match in buckets.get(key, ()):
+                joined.append(match + row)
+        return joined
+
+    def _group_by(self, node: GroupBy, child: Table) -> Table:
+        group_columns = [c for c in child.columns
+                         if c in node.group_attributes]
+        positions = [child.column_position(c) for c in group_columns]
+        agg_positions = [
+            child.column_position(a.attribute)
+            if a.attribute is not None else None
+            for a in node.aggregates
+        ]
+
+        groups: dict[tuple, list[tuple]] = {}
+        originals: dict[tuple, tuple] = {}
+        for row in child.rows:
+            key = tuple(_join_key(row[p]) for p in positions)
+            groups.setdefault(key, []).append(row)
+            originals.setdefault(key, tuple(row[p] for p in positions))
+
+        out_columns = list(group_columns) + [
+            a.output_name for a in node.aggregates
+        ]
+        rows = []
+        for key, members in groups.items():
+            output: list[object] = list(originals[key])
+            for aggregate, position in zip(node.aggregates, agg_positions):
+                if position is None:
+                    output.append(len(members))
+                    continue
+                values = [m[position] for m in members]
+                output.append(self._aggregate(aggregate.function, values))
+            rows.append(tuple(output))
+        return Table("γ", tuple(out_columns), rows)
+
+    def _aggregate(self, function: AggregateFunction,
+                   values: list[object]) -> object:
+        if not values:
+            raise ExecutionError("aggregate over an empty group")
+        if function is AggregateFunction.COUNT:
+            return len(values)
+        first = values[0]
+        if isinstance(first, EncryptedValue):
+            return self._aggregate_encrypted(function, values)
+        numeric = [v for v in values if v is not None]
+        if function is AggregateFunction.SUM:
+            return sum(numeric)  # type: ignore[arg-type]
+        if function is AggregateFunction.AVG:
+            return sum(numeric) / len(numeric)  # type: ignore[arg-type]
+        if function is AggregateFunction.MIN:
+            return min(numeric)  # type: ignore[type-var]
+        if function is AggregateFunction.MAX:
+            return max(numeric)  # type: ignore[type-var]
+        raise ExecutionError(f"unsupported aggregate {function}")
+
+    def _aggregate_encrypted(self, function: AggregateFunction,
+                             values: list[object]) -> object:
+        encrypted = []
+        for value in values:
+            if not isinstance(value, EncryptedValue):
+                raise ExecutionError(
+                    "aggregate mixes plaintext and encrypted values"
+                )
+            encrypted.append(value)
+        scheme = encrypted[0].scheme
+        if function in (AggregateFunction.MIN, AggregateFunction.MAX):
+            if scheme is not EncryptionScheme.OPE:
+                raise ExecutionError(
+                    f"min/max over {scheme} ciphertexts is not supported"
+                )
+            chosen = encrypted[0]
+            for value in encrypted[1:]:
+                if function is AggregateFunction.MIN:
+                    if value.less_than(chosen):
+                        chosen = value
+                elif chosen.less_than(value):
+                    chosen = value
+            return chosen
+        if function in (AggregateFunction.SUM, AggregateFunction.AVG):
+            if scheme is not EncryptionScheme.PAILLIER:
+                raise ExecutionError(
+                    f"sum/avg over {scheme} ciphertexts is not supported"
+                )
+            total = encrypted[0]
+            for value in encrypted[1:]:
+                total = total.add(value)
+            from repro.crypto.paillier import PaillierCiphertext
+
+            assert isinstance(total.token, PaillierCiphertext)
+            if function is AggregateFunction.SUM:
+                return EncryptedAggregate(
+                    key_name=total.key_name,
+                    ciphertext_sum=total.token,
+                    count=len(encrypted),
+                    is_average=False,
+                )
+            return EncryptedAggregate(
+                key_name=total.key_name,
+                ciphertext_sum=total.token,
+                count=len(encrypted),
+                is_average=True,
+            )
+        raise ExecutionError(f"unsupported encrypted aggregate {function}")
+
+    def _udf(self, node: Udf, child: Table) -> Table:
+        if node.name not in self.udfs:
+            raise ExecutionError(f"unknown udf {node.name!r}")
+        function = self.udfs[node.name]
+        input_positions = {
+            a: child.column_position(a) for a in node.inputs
+        }
+        out_columns = [c for c in child.columns
+                       if c not in node.inputs or c == node.output]
+        out_positions = [child.column_position(c) for c in out_columns]
+        output_index = out_columns.index(node.output)
+        rows = []
+        for row in child.rows:
+            arguments = {a: row[p] for a, p in input_positions.items()}
+            result = function(arguments)
+            projected = [row[p] for p in out_positions]
+            projected[output_index] = result
+            rows.append(tuple(projected))
+        return Table("µ", tuple(out_columns), rows)
+
+    # ------------------------------------------------------------------
+    # Encryption operators
+    # ------------------------------------------------------------------
+    def _require_keystore(self) -> KeyStore:
+        if self.keystore is None:
+            raise ExecutionError("this evaluator holds no keys")
+        return self.keystore
+
+    def _encrypt(self, node: Encrypt, child: Table) -> Table:
+        keystore = self._require_keystore()
+        result = child
+        for attribute in sorted(node.attributes):
+            material = keystore.material_for_attribute(attribute)
+            result = result.map_column(
+                attribute, lambda v, m=material: encrypt_value(m, v)
+            )
+        return result.rename("enc")
+
+    def _decrypt(self, node: Decrypt, child: Table) -> Table:
+        keystore = self._require_keystore()
+        result = child
+        for attribute in sorted(node.attributes):
+            material = keystore.material_for_attribute(attribute)
+            result = result.map_column(
+                attribute, lambda v, m=material: decrypt_value(m, v)
+            )
+        return result.rename("dec")
+
+
+def _join_key(value: object) -> object:
+    """A hashable grouping key for plaintext or encrypted values."""
+    if isinstance(value, EncryptedValue):
+        return value.group_key()
+    if isinstance(value, (list, set, dict)):
+        raise ExecutionError(f"unhashable join key {type(value).__name__}")
+    return value

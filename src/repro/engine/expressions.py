@@ -1,0 +1,249 @@
+"""Predicate evaluation over plaintext and encrypted rows.
+
+Selections and joins are evaluated uniformly over plaintext values and
+:class:`~repro.engine.values.EncryptedValue` tokens: equality works on
+deterministic (and OPE) tokens, order works on OPE tokens, and anything
+else raises — the engine physically cannot do what the model says it must
+not.  Constants in predicates are encrypted on the fly when the evaluator
+holds the covering key, mirroring §6's dispatch where conditions are
+"formulated on encrypted values" for subjects without plaintext
+visibility.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.core.predicates import (
+    AttributeComparisonPredicate,
+    AttributeValuePredicate,
+    ComparisonOp,
+    Predicate,
+)
+from repro.crypto.keymanager import KeyStore
+from repro.crypto.ope import OpeCipher
+from repro.engine.codec import try_decrypt
+from repro.engine.values import EncryptedValue
+from repro.exceptions import ExecutionError
+
+Row = tuple
+
+
+def compare_plain(left: object, op: ComparisonOp, right: object) -> bool:
+    """Comparison of two plaintext values."""
+    if op is ComparisonOp.EQ:
+        return left == right
+    if op is ComparisonOp.NEQ:
+        return left != right
+    if op is ComparisonOp.LIKE:
+        if not isinstance(left, str) or not isinstance(right, str):
+            raise ExecutionError("LIKE requires string operands")
+        pattern = "^" + re.escape(right).replace("%", ".*").replace("_", ".") \
+            + "$"
+        return re.match(pattern, left) is not None
+    if op is ComparisonOp.IN:
+        if not isinstance(right, (tuple, list, set, frozenset)):
+            raise ExecutionError("IN requires a collection right operand")
+        return left in right
+    if left is None or right is None:
+        return False
+    try:
+        if op is ComparisonOp.LT:
+            return left < right  # type: ignore[operator]
+        if op is ComparisonOp.LE:
+            return left <= right  # type: ignore[operator]
+        if op is ComparisonOp.GT:
+            return left > right  # type: ignore[operator]
+        if op is ComparisonOp.GE:
+            return left >= right  # type: ignore[operator]
+    except TypeError as error:
+        raise ExecutionError(f"incomparable values: {error}") from None
+    raise ExecutionError(f"unsupported operator {op}")
+
+
+def compare_encrypted(left: EncryptedValue, op: ComparisonOp,
+                      right: EncryptedValue) -> bool:
+    """Comparison of two encrypted tokens, capability-checked."""
+    if op is ComparisonOp.EQ:
+        return left.equals(right)
+    if op is ComparisonOp.NEQ:
+        return not left.equals(right)
+    if op is ComparisonOp.LT:
+        return left.less_than(right)
+    if op is ComparisonOp.GT:
+        return right.less_than(left)
+    if op is ComparisonOp.LE:
+        return not right.less_than(left)
+    if op is ComparisonOp.GE:
+        return not left.less_than(right)
+    raise ExecutionError(
+        f"operator {op} is not supported on encrypted values"
+    )
+
+
+def compare_values(left: object, op: ComparisonOp, right: object) -> bool:
+    """Dispatch between plaintext and encrypted comparison."""
+    left_enc = isinstance(left, EncryptedValue)
+    right_enc = isinstance(right, EncryptedValue)
+    if left_enc and right_enc:
+        return compare_encrypted(left, op, right)
+    if left_enc or right_enc:
+        raise ExecutionError(
+            "comparison mixes plaintext and encrypted values; the plan is "
+            "missing an encryption or decryption step"
+        )
+    return compare_plain(left, op, right)
+
+
+class ConstantEncryptor:
+    """Encrypts predicate constants to match an encrypted column.
+
+    Holds a :class:`KeyStore`; when a predicate compares an encrypted
+    column against a plaintext constant, the constant is encrypted under
+    the column's key (deterministic for equality, OPE token for ranges).
+    Without the covering key the comparison is impossible — exactly the
+    model's intent.
+    """
+
+    def __init__(self, keystore: KeyStore | None) -> None:
+        self._keystore = keystore
+        self._cache: dict[tuple[str, ComparisonOp, object], object] = {}
+
+    @property
+    def keystore(self) -> KeyStore | None:
+        """The key material available to this evaluator."""
+        return self._keystore
+
+    def match_constant(self, sample: EncryptedValue, op: ComparisonOp,
+                       constant: object) -> EncryptedValue:
+        """An :class:`EncryptedValue` comparable against ``sample``."""
+        if isinstance(constant, EncryptedValue):
+            return constant
+        if self._keystore is None \
+                or sample.key_name not in self._keystore.names():
+            raise ExecutionError(
+                f"cannot encrypt constant: no key {sample.key_name} held"
+            )
+        cache_key = (sample.key_name, op, _freeze(constant))
+        if cache_key in self._cache:
+            return self._cache[cache_key]  # type: ignore[return-value]
+        material = self._keystore.material(sample.key_name)
+        scheme = sample.scheme
+        from repro.core.requirements import EncryptionScheme
+        from repro.crypto.symmetric import DeterministicCipher
+
+        if scheme is EncryptionScheme.DETERMINISTIC:
+            if material.symmetric is None:
+                raise ExecutionError(
+                    f"key {material.name} lacks symmetric material"
+                )
+            token: object = DeterministicCipher(
+                material.symmetric
+            ).encrypt(constant)
+        elif scheme is EncryptionScheme.OPE:
+            if material.symmetric is None:
+                raise ExecutionError(
+                    f"key {material.name} lacks symmetric material"
+                )
+            token = OpeCipher(material.symmetric).encrypt(constant)
+        else:
+            raise ExecutionError(
+                f"constants cannot be compared under {scheme}"
+            )
+        value = EncryptedValue(
+            key_name=sample.key_name, scheme=scheme, token=token
+        )
+        self._cache[cache_key] = value
+        return value
+
+
+def build_row_predicate(predicate: Predicate, columns: tuple[str, ...],
+                        encryptor: ConstantEncryptor,
+                        local_keystore: KeyStore | None = None,
+                        ) -> Callable[[Row], bool]:
+    """Compile ``predicate`` into a row-level boolean function.
+
+    ``encryptor`` encrypts constants (§6: the dispatching user holds the
+    keys and formulates conditions on encrypted values, so it may wrap a
+    richer store than the evaluating subject's own); ``local_keystore``
+    is the evaluating subject's own material, the only thing the note-2
+    decrypt-and-compare fallback may use.
+    """
+    positions = {c: i for i, c in enumerate(columns)}
+    basics = list(predicate.basic_conditions())
+    for basic in basics:
+        for attribute in basic.attributes():
+            if attribute not in positions:
+                raise ExecutionError(
+                    f"predicate references missing column {attribute!r}"
+                )
+
+    keystore = local_keystore if local_keystore is not None         else encryptor.keystore
+
+    def evaluate(row: Row) -> bool:
+        for basic in basics:
+            if isinstance(basic, AttributeValuePredicate):
+                value = row[positions[basic.attribute]]
+                constant = basic.value
+                if isinstance(value, EncryptedValue) \
+                        and not isinstance(constant, EncryptedValue):
+                    if basic.op is ComparisonOp.IN and isinstance(
+                            constant, (tuple, list, set, frozenset)):
+                        try:
+                            tokens = {
+                                encryptor.match_constant(
+                                    value, ComparisonOp.EQ, item
+                                ).token
+                                for item in constant
+                            }
+                            if value.token not in tokens:
+                                return False
+                            continue
+                        except ExecutionError:
+                            # Note 2 (§5): the key holder evaluates on
+                            # plaintext values instead.
+                            if not compare_plain(
+                                    try_decrypt(keystore, value),
+                                    basic.op, constant):
+                                return False
+                            continue
+                    try:
+                        constant = encryptor.match_constant(
+                            value, basic.op, constant
+                        )
+                        if not compare_values(value, basic.op, constant):
+                            return False
+                        continue
+                    except ExecutionError:
+                        # Note 2 (§5): the key holder evaluates on
+                        # plaintext values instead.
+                        if not compare_plain(try_decrypt(keystore, value),
+                                             basic.op, basic.value):
+                            return False
+                        continue
+                if not compare_values(value, basic.op, constant):
+                    return False
+            elif isinstance(basic, AttributeComparisonPredicate):
+                left = row[positions[basic.left]]
+                right = row[positions[basic.right]]
+                try:
+                    if not compare_values(left, basic.op, right):
+                        return False
+                except ExecutionError:
+                    # Note 2: decrypt locally when the keys are held.
+                    if not compare_plain(try_decrypt(keystore, left),
+                                         basic.op,
+                                         try_decrypt(keystore, right)):
+                        return False
+            else:  # pragma: no cover - conjunctions are flattened
+                raise ExecutionError(f"unsupported predicate {basic!r}")
+        return True
+
+    return evaluate
+
+
+def _freeze(value: object) -> object:
+    if isinstance(value, (list, set)):
+        return tuple(sorted(map(repr, value)))
+    return value

@@ -1,0 +1,147 @@
+"""In-memory relations.
+
+A :class:`Table` is an ordered list of equally shaped tuples with named
+columns — the runtime counterpart of the model-level
+:class:`repro.core.schema.Relation`.  Tables are cheap value objects: the
+executor produces a new table per plan node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import ExecutionError
+
+
+class Table:
+    """A named, column-ordered, in-memory relation.
+
+    Examples
+    --------
+    >>> t = Table("Ins", ("C", "P"), [("alice", 120.0), ("bob", 80.0)])
+    >>> t.column_values("P")
+    [120.0, 80.0]
+    >>> len(t)
+    2
+    """
+
+    __slots__ = ("name", "columns", "rows", "_index")
+
+    def __init__(self, name: str, columns: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> None:
+        self.name = name
+        self.columns = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise ExecutionError(f"duplicate columns in table {name}")
+        self._index = {c: i for i, c in enumerate(self.columns)}
+        materialized = []
+        width = len(self.columns)
+        for row in rows:
+            row = tuple(row)
+            if len(row) != width:
+                raise ExecutionError(
+                    f"row width {len(row)} != column count {width} "
+                    f"in table {name}"
+                )
+            materialized.append(row)
+        self.rows = materialized
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dicts(cls, name: str, columns: Sequence[str],
+                   records: Iterable[Mapping[str, object]]) -> "Table":
+        """Build from dictionaries, in the given column order."""
+        return cls(name, columns,
+                   [tuple(r[c] for c in columns) for r in records])
+
+    def empty_like(self) -> "Table":
+        """An empty table with the same shape."""
+        return Table(self.name, self.columns, [])
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def column_position(self, column: str) -> int:
+        """Index of ``column`` in each row tuple."""
+        try:
+            return self._index[column]
+        except KeyError:
+            raise ExecutionError(
+                f"table {self.name} has no column {column!r}"
+            ) from None
+
+    def column_values(self, column: str) -> list[object]:
+        """All values of one column, in row order."""
+        position = self.column_position(column)
+        return [row[position] for row in self.rows]
+
+    def iter_dicts(self) -> Iterator[dict[str, object]]:
+        """Rows as dictionaries."""
+        for row in self.rows:
+            yield dict(zip(self.columns, row))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[object, ...]]:
+        return iter(self.rows)
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def project(self, columns: Sequence[str],
+                name: str | None = None) -> "Table":
+        """Keep only ``columns`` (in the given order), dropping duplicates."""
+        positions = [self.column_position(c) for c in columns]
+        seen: set[tuple[object, ...]] = set()
+        rows: list[tuple[object, ...]] = []
+        hashable = True
+        for row in self.rows:
+            projected = tuple(row[p] for p in positions)
+            if hashable:
+                try:
+                    if projected in seen:
+                        continue
+                    seen.add(projected)
+                except TypeError:
+                    hashable = False  # unhashable values: keep duplicates
+            rows.append(projected)
+        return Table(name or self.name, tuple(columns), rows)
+
+    def filter(self, keep: Callable[[tuple[object, ...]], bool],
+               name: str | None = None) -> "Table":
+        """Rows satisfying ``keep``."""
+        return Table(name or self.name, self.columns,
+                     [row for row in self.rows if keep(row)])
+
+    def map_column(self, column: str,
+                   transform: Callable[[object], object]) -> "Table":
+        """Apply ``transform`` to one column."""
+        position = self.column_position(column)
+        rows = [
+            row[:position] + (transform(row[position]),) + row[position + 1:]
+            for row in self.rows
+        ]
+        return Table(self.name, self.columns, rows)
+
+    def rename(self, name: str) -> "Table":
+        """The same table under a new name."""
+        return Table(name, self.columns, self.rows)
+
+    # ------------------------------------------------------------------
+    # Comparison helpers (tests)
+    # ------------------------------------------------------------------
+    def sorted_rows(self) -> list[tuple[object, ...]]:
+        """Rows sorted by repr — stable order-insensitive comparison."""
+        return sorted(self.rows, key=repr)
+
+    def same_content(self, other: "Table") -> bool:
+        """Order-insensitive equality on (columns, rows)."""
+        return (self.columns == other.columns
+                and self.sorted_rows() == other.sorted_rows())
+
+    def __repr__(self) -> str:
+        return (f"Table({self.name}: {', '.join(self.columns)}; "
+                f"{len(self.rows)} rows)")

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or attributes clash across relations."""
+
+
+class AuthorizationError(ReproError):
+    """An authorization rule is malformed (e.g., overlapping P and E sets)."""
+
+
+class ProfileError(ReproError):
+    """A profile operation was applied to incompatible inputs."""
+
+
+class PlanError(ReproError):
+    """A query plan is structurally invalid."""
+
+
+class OperationRequirementError(PlanError):
+    """An operator references attributes that its operand cannot provide."""
+
+
+class UnauthorizedError(ReproError):
+    """A subject attempted to access a relation it is not authorized for."""
+
+    def __init__(self, message: str, *, subject: str | None = None,
+                 violations: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.subject = subject
+        self.violations = violations
+
+
+class NoCandidateError(ReproError):
+    """No subject is a candidate for some operation of the plan."""
+
+    def __init__(self, message: str, *, node: object | None = None) -> None:
+        super().__init__(message)
+        self.node = node
+
+
+class KeyManagementError(ReproError):
+    """Key establishment or distribution violated its constraints."""
+
+
+class DispatchError(ReproError):
+    """Sub-query dispatch failed (bad envelope, missing key, tampering)."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, *, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SqlAnalysisError(SqlError):
+    """The SQL parsed but references unknown relations or attributes."""
+
+
+class ExecutionError(ReproError):
+    """The in-memory engine failed to evaluate a plan."""
+
+
+class CryptoError(ReproError):
+    """An encryption primitive was misused (wrong key, corrupt ciphertext)."""
+
+
+class EstimationError(ReproError):
+    """Cost or cardinality estimation failed for a plan node."""

@@ -1,0 +1,122 @@
+"""Regeneration of the paper's worked figures (Figures 3–8).
+
+Each function returns both the computed artifact and a rendering that can
+be compared side by side with the paper; the integration tests assert the
+exact values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.assignment import AssignmentResult, assign
+from repro.core.candidates import CandidateAssignment, compute_candidates
+from repro.core.dispatch import DispatchPlan, dispatch
+from repro.core.extension import ExtendedPlan, minimally_extend
+from repro.core.keys import KeyAssignment, establish_keys
+from repro.core.visibility import authorized_assignees
+from repro.cost.pricing import PriceList
+from repro.paper_example import RunningExample, build_running_example
+
+
+@dataclass
+class RunningExampleResults:
+    """Everything the running example produces, figure by figure."""
+
+    example: RunningExample
+    figure3_profiles: dict[str, str]
+    figure3_assignees: dict[str, str]
+    figure4_views: dict[str, str]
+    figure6_candidates: dict[str, str]
+    figure7a: ExtendedPlan
+    figure7b: ExtendedPlan
+    keys7a: KeyAssignment
+    keys7b: KeyAssignment
+    figure8: DispatchPlan
+    optimal: AssignmentResult
+
+    def describe(self) -> str:
+        """A multi-figure text report."""
+        sections = [
+            "== Figure 3: profiles and authorized assignees ==",
+            *(f"{op}: {tag}   assignees: {self.figure3_assignees[op]}"
+              for op, tag in self.figure3_profiles.items()),
+            "", "== Figure 4: overall subject views ==",
+            *(f"{s}: {v}" for s, v in self.figure4_views.items()),
+            "", "== Figure 6: assignment candidates ==",
+            *(f"{op}: {names}"
+              for op, names in self.figure6_candidates.items()),
+            "", "== Figure 7(a): minimally extended plan ==",
+            self.figure7a.describe(),
+            "keys: " + self.keys7a.describe().replace("\n", "; "),
+            "", "== Figure 7(b): minimally extended plan ==",
+            self.figure7b.describe(),
+            "keys: " + self.keys7b.describe().replace("\n", "; "),
+            "", "== Figure 8: query dispatch ==",
+            self.figure8.describe(),
+            "", "== Cost-optimal assignment ==",
+            self.optimal.cost.describe(),
+        ]
+        return "\n".join(sections)
+
+
+def run_running_example() -> RunningExampleResults:
+    """Recompute Figures 3–8 from scratch."""
+    example = build_running_example()
+    operations = {
+        "σ(D='stroke')": example.selection,
+        "⋈(S=C)": example.join,
+        "γ(T, avg(P))": example.group_by,
+        "σ(avg(P)>100)": example.having,
+    }
+
+    profiles = example.plan.profiles()
+    assignees = authorized_assignees(
+        example.plan, example.policy, example.subject_names
+    )
+    candidates: CandidateAssignment = compute_candidates(
+        example.plan, example.policy, example.subject_names
+    )
+
+    figure7a = minimally_extend(
+        example.plan, example.policy, example.assignment_7a(),
+        owners=example.owners,
+    )
+    figure7b = minimally_extend(
+        example.plan, example.policy, example.assignment_7b(),
+        owners=example.owners,
+    )
+    keys7a = establish_keys(figure7a, example.policy)
+    keys7b = establish_keys(figure7b, example.policy)
+    figure8 = dispatch(figure7a, keys7a, owners=example.owners, user="U")
+
+    prices = PriceList.from_subjects(example.subjects)
+    optimal = assign(
+        example.plan, example.policy, example.subject_names, prices,
+        user="U", owners=example.owners,
+    )
+
+    return RunningExampleResults(
+        example=example,
+        figure3_profiles={
+            op: profiles[node].describe() for op, node in operations.items()
+        },
+        figure3_assignees={
+            op: "".join(sorted(assignees[node]))
+            for op, node in operations.items()
+        },
+        figure4_views={
+            name: example.policy.view(name).describe()
+            for name in example.subject_names
+        },
+        figure6_candidates={
+            op: "".join(sorted(candidates[node]))
+            for op, node in operations.items()
+        },
+        figure7a=figure7a,
+        figure7b=figure7b,
+        keys7a=keys7a,
+        keys7b=keys7b,
+        figure8=figure8,
+        optimal=optimal,
+    )

@@ -1,0 +1,223 @@
+"""The paper's running example (Sections 1–6, Figures 1–8).
+
+Two data authorities — a hospital ``H`` storing ``Hosp(S, B, D, T)`` and
+an insurance company ``I`` storing ``Ins(C, P)`` — a user ``U``, and three
+cloud providers ``X``, ``Y``, ``Z``.  The query, on behalf of ``U``::
+
+    SELECT T, AVG(P)
+    FROM Hosp JOIN Ins ON S = C
+    WHERE D = 'stroke'
+    GROUP BY T
+    HAVING AVG(P) > 100
+
+This module builds the schema, the authorizations of Figure 1(b)/4, the
+query plan of Figure 1(a), and the two assignments of Figures 7(a) and
+7(b), so that tests, benchmarks, and examples can all validate against the
+paper's exact artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.authorization import (
+    ANY,
+    Authorization,
+    Policy,
+    Subject,
+    SubjectKind,
+)
+from repro.core.operators import (
+    Aggregate,
+    AggregateFunction,
+    BaseRelationNode,
+    GroupBy,
+    Join,
+    PlanNode,
+    Selection,
+)
+from repro.core.plan import QueryPlan
+from repro.core.predicates import (
+    AttributeValuePredicate,
+    ComparisonOp,
+    equals,
+)
+from repro.core.schema import (
+    AttributeSpec,
+    DECIMAL,
+    INTEGER,
+    Relation,
+    Schema,
+    VARCHAR,
+)
+
+
+@dataclass
+class RunningExample:
+    """All artifacts of the paper's running example, ready to use."""
+
+    schema: Schema
+    policy: Policy
+    subjects: tuple[Subject, ...]
+    plan: QueryPlan
+    user: Subject
+    # Named nodes of the plan in Figure 1(a), bottom-up (the projection
+    # π[S,D,T] is folded into the Hosp leaf, as the paper draws it):
+    hosp_leaf: PlanNode
+    ins_leaf: PlanNode
+    selection: PlanNode
+    join: PlanNode
+    group_by: PlanNode
+    having: PlanNode
+
+    @property
+    def subject_names(self) -> tuple[str, ...]:
+        """Names of all subjects, user first."""
+        return tuple(s.name for s in self.subjects)
+
+    def assignment_7a(self) -> dict[PlanNode, str]:
+        """The operation assignment of Figure 7(a).
+
+        σ(D='stroke') → H, ⋈(S=C) → X, γ(T, avg(P)) → X,
+        σ(avg(P)>100) → Y.
+        """
+        return {
+            self.selection: "H",
+            self.join: "X",
+            self.group_by: "X",
+            self.having: "Y",
+        }
+
+    def assignment_7b(self) -> dict[PlanNode, str]:
+        """The operation assignment of Figure 7(b).
+
+        σ(D='stroke') → H, ⋈(S=C) → Z, γ(T, avg(P)) → Z,
+        σ(avg(P)>100) → Y.
+        """
+        return {
+            self.selection: "H",
+            self.join: "Z",
+            self.group_by: "Z",
+            self.having: "Y",
+        }
+
+    @property
+    def owners(self) -> dict[str, str]:
+        """Relation name → owning data authority."""
+        return {"Hosp": "H", "Ins": "I"}
+
+
+def build_schema() -> Schema:
+    """``Hosp(S, B, D, T)`` and ``Ins(C, P)`` with realistic metadata."""
+    schema = Schema()
+    schema.add(Relation("Hosp", [
+        AttributeSpec("S", VARCHAR, distinct_fraction=1.0),
+        AttributeSpec("B", INTEGER, distinct_fraction=0.1),
+        AttributeSpec("D", VARCHAR, distinct_fraction=0.05),
+        AttributeSpec("T", VARCHAR, distinct_fraction=0.02),
+    ], cardinality=10_000))
+    schema.add(Relation("Ins", [
+        AttributeSpec("C", VARCHAR, distinct_fraction=1.0),
+        AttributeSpec("P", DECIMAL, distinct_fraction=0.5),
+    ], cardinality=8_000))
+    return schema
+
+
+def build_subjects() -> tuple[Subject, ...]:
+    """U (user), H and I (authorities), X, Y, Z (providers)."""
+    return (
+        Subject("U", SubjectKind.USER),
+        Subject("H", SubjectKind.AUTHORITY),
+        Subject("I", SubjectKind.AUTHORITY),
+        Subject("X", SubjectKind.PROVIDER),
+        Subject("Y", SubjectKind.PROVIDER),
+        Subject("Z", SubjectKind.PROVIDER),
+    )
+
+
+def build_policy(schema: Schema) -> Policy:
+    """The authorizations of Figure 1(b) / Figure 4."""
+    policy = Policy(schema)
+    hosp, ins = schema.relation("Hosp"), schema.relation("Ins")
+    policy.grant_all([
+        Authorization(hosp, "SBDT", "", "H"),
+        Authorization(ins, "C", "P", "H"),
+        Authorization(hosp, "B", "SDT", "I"),
+        Authorization(ins, "CP", "", "I"),
+        Authorization(hosp, "SDT", "", "U"),
+        Authorization(ins, "CP", "", "U"),
+        Authorization(hosp, "DT", "S", "X"),
+        Authorization(ins, "", "CP", "X"),
+        Authorization(hosp, "BDT", "S", "Y"),
+        Authorization(ins, "P", "C", "Y"),
+        Authorization(hosp, "ST", "D", "Z"),
+        Authorization(ins, "C", "P", "Z"),
+        Authorization(hosp, "DT", "", ANY),
+        Authorization(ins, "", "P", ANY),
+    ])
+    return policy
+
+
+def build_plan(schema: Schema) -> tuple[QueryPlan, dict[str, PlanNode]]:
+    """The query plan of Figure 1(a), with named internal nodes."""
+    hosp = BaseRelationNode(schema.relation("Hosp"), ["S", "D", "T"])
+    ins = BaseRelationNode(schema.relation("Ins"))
+    selection = Selection(
+        hosp,
+        AttributeValuePredicate("D", ComparisonOp.EQ, "stroke"),
+    )
+    join = Join(selection, ins, equals("S", "C"))
+    group_by = GroupBy(join, ["T"], Aggregate(AggregateFunction.AVG, "P"))
+    having = Selection(
+        group_by,
+        AttributeValuePredicate("P", ComparisonOp.GT, 100),
+    )
+    nodes = {
+        "hosp_leaf": hosp,
+        "ins_leaf": ins,
+        "selection": selection,
+        "join": join,
+        "group_by": group_by,
+        "having": having,
+    }
+    return QueryPlan(having), nodes
+
+
+def build_running_example() -> RunningExample:
+    """Assemble the complete running example."""
+    schema = build_schema()
+    subjects = build_subjects()
+    policy = build_policy(schema)
+    plan, nodes = build_plan(schema)
+    return RunningExample(
+        schema=schema,
+        policy=policy,
+        subjects=subjects,
+        plan=plan,
+        user=subjects[0],
+        hosp_leaf=nodes["hosp_leaf"],
+        ins_leaf=nodes["ins_leaf"],
+        selection=nodes["selection"],
+        join=nodes["join"],
+        group_by=nodes["group_by"],
+        having=nodes["having"],
+    )
+
+
+#: Expected overall views of Figure 4, for validation.
+FIGURE_4_VIEWS = {
+    "H": ("SBDTC", "P"),
+    "I": ("BCP", "SDT"),
+    "U": ("SDTCP", ""),
+    "X": ("DT", "SCP"),
+    "Y": ("BDTP", "SC"),
+    "Z": ("STC", "DP"),
+}
+
+#: Expected candidate sets of Figure 6 (bottom-up operation order).
+FIGURE_6_CANDIDATES = {
+    "selection": "HIUXYZ",
+    "join": "HUXYZ",
+    "group_by": "HUXYZ",
+    "having": "UY",
+}

@@ -1,0 +1,27 @@
+"""SQL front end: tokenizer, parser, and logical planner.
+
+Turns the paper's query class (``select from where group by having`` with
+joins, §1) into the query-plan trees the authorization pipeline consumes,
+with projections pushed into the leaves and selections pushed below the
+joins, as the paper assumes of its optimizer.
+"""
+
+from repro.sql.ast import (
+    AggregateCall,
+    ColumnRef,
+    ComparisonExpr,
+    JoinClause,
+    Literal,
+    SelectItem,
+    SelectQuery,
+    TableRef,
+)
+from repro.sql.parser import parse_sql
+from repro.sql.planner import plan_query
+from repro.sql.tokenizer import Token, TokenType, tokenize
+
+__all__ = [
+    "AggregateCall", "ColumnRef", "ComparisonExpr", "JoinClause",
+    "Literal", "SelectItem", "SelectQuery", "TableRef", "Token",
+    "TokenType", "parse_sql", "plan_query", "tokenize",
+]

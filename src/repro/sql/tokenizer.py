@@ -1,0 +1,123 @@
+"""SQL tokenizer for the paper's query class.
+
+Supports the ``select from where group by having`` queries of §1 with
+joins, conjunctive conditions, aggregates, aliases, BETWEEN/IN/LIKE, and
+the literal types the engine understands (integers, decimals, strings,
+and ISO dates via ``date '2017-01-01'``).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.exceptions import SqlSyntaxError
+
+KEYWORDS = frozenset({
+    "select", "from", "where", "group", "by", "having", "join", "on",
+    "and", "as", "like", "in", "not", "between", "date", "inner",
+    "distinct",
+})
+
+AGGREGATE_NAMES = frozenset({"sum", "avg", "min", "max", "count"})
+
+
+class TokenType(enum.Enum):
+    """Lexical categories."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    STAR = "star"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        """Whether this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __str__(self) -> str:
+        return f"{self.value!r}"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<identifier>[A-Za-z_][A-Za-z0-9_$#]*)
+  | (?P<operator><=|>=|<>|!=|=|<|>)
+  | (?P<punct>[(),.;])
+  | (?P<star>\*)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; raises :class:`SqlSyntaxError` on bad input.
+
+    Examples
+    --------
+    >>> [t.value for t in tokenize("select T from Hosp")][:3]
+    ['select', 'T', 'from']
+    """
+    tokens: list[Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            column = position - line_start + 1
+            raise SqlSyntaxError(
+                f"unexpected character {sql[position]!r}",
+                line=line, column=column,
+            )
+        kind = match.lastgroup
+        text = match.group()
+        column = position - line_start + 1
+        if kind in ("ws", "comment"):
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = position + text.rindex("\n") + 1
+        elif kind == "number":
+            tokens.append(Token(TokenType.NUMBER, text, line, column))
+        elif kind == "string":
+            tokens.append(Token(TokenType.STRING, text, line, column))
+        elif kind == "identifier":
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, line, column))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, text, line, column))
+        elif kind == "operator":
+            canonical = "<>" if text == "!=" else text
+            tokens.append(Token(TokenType.OPERATOR, canonical, line, column))
+        elif kind == "punct":
+            tokens.append(Token(TokenType.PUNCTUATION, text, line, column))
+        elif kind == "star":
+            tokens.append(Token(TokenType.STAR, text, line, column))
+        position = match.end()
+    tokens.append(Token(TokenType.END, "", line, len(sql) - line_start + 1))
+    return tokens
+
+
+def unquote_string(literal: str) -> str:
+    """Strip quotes and unescape doubled quotes of a string literal."""
+    return literal[1:-1].replace("''", "'")

@@ -1,0 +1,25 @@
+"""TPC-H substrate: schema, data generator, 22 queries, §7 scenarios."""
+
+from repro.tpch.datagen import TpchData, generate
+from repro.tpch.queries import TpchQuery, all_queries, query, query_plan
+from repro.tpch.scenarios import (
+    PROVIDERS,
+    SCENARIOS,
+    Scenario,
+    all_scenarios,
+    scenario,
+)
+from repro.tpch.schema import (
+    AUTHORITY_TABLES,
+    build_tpch_schema,
+    table_owners,
+    table_rows,
+)
+from repro.tpch.udfs import TPCH_UDFS
+
+__all__ = [
+    "AUTHORITY_TABLES", "PROVIDERS", "SCENARIOS", "Scenario", "TPCH_UDFS",
+    "TpchData", "TpchQuery", "all_queries", "all_scenarios",
+    "build_tpch_schema", "generate", "query", "query_plan", "scenario",
+    "table_owners", "table_rows",
+]

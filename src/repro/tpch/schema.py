@@ -1,0 +1,214 @@
+"""The TPC-H schema (8 relations) with estimator statistics.
+
+Column names carry their standard TPC-H prefixes (``l_``, ``o_``, ...),
+which makes them globally unique — exactly the convention the paper's
+attribute-level model needs.  Cardinalities follow the TPC-H scaling
+rules; ``distinct_fraction`` values approximate the spec's value domains
+so the cardinality estimator produces sensible join/group sizes.
+"""
+
+from __future__ import annotations
+
+from repro.core.schema import (
+    AttributeSpec,
+    DATE,
+    DECIMAL,
+    INTEGER,
+    Relation,
+    Schema,
+    VARCHAR,
+)
+
+#: Base-table rows at scale factor 1.0 (TPC-H specification).
+ROWS_AT_SF1 = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+#: Fixed-size tables that do not scale.
+UNSCALED = frozenset({"region", "nation"})
+
+
+def table_rows(name: str, scale: float) -> int:
+    """Row count of ``name`` at scale factor ``scale``."""
+    base = ROWS_AT_SF1[name]
+    if name in UNSCALED:
+        return base
+    return max(1, int(base * scale))
+
+
+def _distinct(count: float, rows: int) -> float:
+    """Distinct fraction for an absolute distinct-value count."""
+    return max(1e-9, min(1.0, count / max(rows, 1)))
+
+
+def build_tpch_schema(scale: float = 0.01) -> Schema:
+    """The eight TPC-H relations at scale factor ``scale``."""
+    schema = Schema()
+
+    region_rows = table_rows("region", scale)
+    schema.add(Relation("region", [
+        AttributeSpec("r_regionkey", INTEGER, distinct_fraction=1.0),
+        AttributeSpec("r_name", VARCHAR, width=12,
+                      distinct_fraction=1.0),
+        AttributeSpec("r_comment", VARCHAR, width=64,
+                      distinct_fraction=1.0),
+    ], cardinality=region_rows))
+
+    nation_rows = table_rows("nation", scale)
+    schema.add(Relation("nation", [
+        AttributeSpec("n_nationkey", INTEGER, distinct_fraction=1.0),
+        AttributeSpec("n_name", VARCHAR, width=16, distinct_fraction=1.0),
+        AttributeSpec("n_regionkey", INTEGER,
+                      distinct_fraction=_distinct(5, nation_rows)),
+        AttributeSpec("n_comment", VARCHAR, width=64,
+                      distinct_fraction=1.0),
+    ], cardinality=nation_rows))
+
+    supplier_rows = table_rows("supplier", scale)
+    schema.add(Relation("supplier", [
+        AttributeSpec("s_suppkey", INTEGER, distinct_fraction=1.0),
+        AttributeSpec("s_name", VARCHAR, width=18, distinct_fraction=1.0),
+        AttributeSpec("s_address", VARCHAR, width=24,
+                      distinct_fraction=1.0),
+        AttributeSpec("s_nationkey", INTEGER,
+                      distinct_fraction=_distinct(25, supplier_rows)),
+        AttributeSpec("s_phone", VARCHAR, width=15, distinct_fraction=1.0),
+        AttributeSpec("s_acctbal", DECIMAL, distinct_fraction=0.9),
+        AttributeSpec("s_comment", VARCHAR, width=64,
+                      distinct_fraction=1.0),
+    ], cardinality=supplier_rows))
+
+    customer_rows = table_rows("customer", scale)
+    schema.add(Relation("customer", [
+        AttributeSpec("c_custkey", INTEGER, distinct_fraction=1.0),
+        AttributeSpec("c_name", VARCHAR, width=18, distinct_fraction=1.0),
+        AttributeSpec("c_address", VARCHAR, width=24,
+                      distinct_fraction=1.0),
+        AttributeSpec("c_nationkey", INTEGER,
+                      distinct_fraction=_distinct(25, customer_rows)),
+        AttributeSpec("c_phone", VARCHAR, width=15, distinct_fraction=1.0),
+        AttributeSpec("c_acctbal", DECIMAL, distinct_fraction=0.9),
+        AttributeSpec("c_mktsegment", VARCHAR, width=10,
+                      distinct_fraction=_distinct(5, customer_rows)),
+        AttributeSpec("c_comment", VARCHAR, width=72,
+                      distinct_fraction=1.0),
+    ], cardinality=customer_rows))
+
+    part_rows = table_rows("part", scale)
+    schema.add(Relation("part", [
+        AttributeSpec("p_partkey", INTEGER, distinct_fraction=1.0),
+        AttributeSpec("p_name", VARCHAR, width=34, distinct_fraction=1.0),
+        AttributeSpec("p_mfgr", VARCHAR, width=14,
+                      distinct_fraction=_distinct(5, part_rows)),
+        AttributeSpec("p_brand", VARCHAR, width=10,
+                      distinct_fraction=_distinct(25, part_rows)),
+        AttributeSpec("p_type", VARCHAR, width=20,
+                      distinct_fraction=_distinct(150, part_rows)),
+        AttributeSpec("p_size", INTEGER,
+                      distinct_fraction=_distinct(50, part_rows)),
+        AttributeSpec("p_container", VARCHAR, width=10,
+                      distinct_fraction=_distinct(40, part_rows)),
+        AttributeSpec("p_retailprice", DECIMAL, distinct_fraction=0.5),
+        AttributeSpec("p_comment", VARCHAR, width=22,
+                      distinct_fraction=1.0),
+    ], cardinality=part_rows))
+
+    partsupp_rows = table_rows("partsupp", scale)
+    schema.add(Relation("partsupp", [
+        AttributeSpec("ps_partkey", INTEGER,
+                      distinct_fraction=_distinct(part_rows, partsupp_rows)),
+        AttributeSpec("ps_suppkey", INTEGER,
+                      distinct_fraction=_distinct(supplier_rows,
+                                                  partsupp_rows)),
+        AttributeSpec("ps_availqty", INTEGER,
+                      distinct_fraction=_distinct(10_000, partsupp_rows)),
+        AttributeSpec("ps_supplycost", DECIMAL, distinct_fraction=0.5),
+        AttributeSpec("ps_comment", VARCHAR, width=48,
+                      distinct_fraction=1.0),
+    ], cardinality=partsupp_rows))
+
+    orders_rows = table_rows("orders", scale)
+    schema.add(Relation("orders", [
+        AttributeSpec("o_orderkey", INTEGER, distinct_fraction=1.0),
+        AttributeSpec("o_custkey", INTEGER,
+                      distinct_fraction=_distinct(customer_rows,
+                                                  orders_rows)),
+        AttributeSpec("o_orderstatus", VARCHAR, width=1,
+                      distinct_fraction=_distinct(3, orders_rows)),
+        AttributeSpec("o_totalprice", DECIMAL, distinct_fraction=0.9),
+        AttributeSpec("o_orderdate", DATE,
+                      distinct_fraction=_distinct(2_400, orders_rows)),
+        AttributeSpec("o_orderpriority", VARCHAR, width=15,
+                      distinct_fraction=_distinct(5, orders_rows)),
+        AttributeSpec("o_clerk", VARCHAR, width=15,
+                      distinct_fraction=_distinct(1_000, orders_rows)),
+        AttributeSpec("o_shippriority", INTEGER,
+                      distinct_fraction=_distinct(1, orders_rows)),
+        AttributeSpec("o_comment", VARCHAR, width=48,
+                      distinct_fraction=1.0),
+    ], cardinality=orders_rows))
+
+    lineitem_rows = table_rows("lineitem", scale)
+    schema.add(Relation("lineitem", [
+        AttributeSpec("l_orderkey", INTEGER,
+                      distinct_fraction=_distinct(orders_rows,
+                                                  lineitem_rows)),
+        AttributeSpec("l_partkey", INTEGER,
+                      distinct_fraction=_distinct(part_rows, lineitem_rows)),
+        AttributeSpec("l_suppkey", INTEGER,
+                      distinct_fraction=_distinct(supplier_rows,
+                                                  lineitem_rows)),
+        AttributeSpec("l_linenumber", INTEGER,
+                      distinct_fraction=_distinct(7, lineitem_rows)),
+        AttributeSpec("l_quantity", INTEGER,
+                      distinct_fraction=_distinct(50, lineitem_rows)),
+        AttributeSpec("l_extendedprice", DECIMAL, distinct_fraction=0.9),
+        AttributeSpec("l_discount", DECIMAL,
+                      distinct_fraction=_distinct(11, lineitem_rows)),
+        AttributeSpec("l_tax", DECIMAL,
+                      distinct_fraction=_distinct(9, lineitem_rows)),
+        AttributeSpec("l_returnflag", VARCHAR, width=1,
+                      distinct_fraction=_distinct(3, lineitem_rows)),
+        AttributeSpec("l_linestatus", VARCHAR, width=1,
+                      distinct_fraction=_distinct(2, lineitem_rows)),
+        AttributeSpec("l_shipdate", DATE,
+                      distinct_fraction=_distinct(2_500, lineitem_rows)),
+        AttributeSpec("l_commitdate", DATE,
+                      distinct_fraction=_distinct(2_500, lineitem_rows)),
+        AttributeSpec("l_receiptdate", DATE,
+                      distinct_fraction=_distinct(2_500, lineitem_rows)),
+        AttributeSpec("l_shipinstruct", VARCHAR, width=12,
+                      distinct_fraction=_distinct(4, lineitem_rows)),
+        AttributeSpec("l_shipmode", VARCHAR, width=10,
+                      distinct_fraction=_distinct(7, lineitem_rows)),
+        AttributeSpec("l_comment", VARCHAR, width=27,
+                      distinct_fraction=1.0),
+    ], cardinality=lineitem_rows))
+
+    return schema
+
+
+#: The §7 distribution of the 8 tables between two data authorities.
+#: The split interleaves the join paths (product-side and order-side data
+#: under different authorities), so most of the 22 queries genuinely span
+#: both authorities — the collaborative setting §1 motivates.
+AUTHORITY_TABLES = {
+    "A1": ("part", "supplier", "customer", "region"),
+    "A2": ("partsupp", "orders", "lineitem", "nation"),
+}
+
+
+def table_owners() -> dict[str, str]:
+    """Relation name → owning authority (A1 or A2)."""
+    owners: dict[str, str] = {}
+    for authority, tables in AUTHORITY_TABLES.items():
+        for table in tables:
+            owners[table] = authority
+    return owners

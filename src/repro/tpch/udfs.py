@@ -1,0 +1,57 @@
+"""User-defined functions used by the TPC-H query approximations.
+
+The paper notes that TPC-H itself contains no udfs but that udf-heavy
+queries benefit *more* from provider delegation (§7).  Four of our query
+reproductions model their scalar expressions / substring computations as
+udf operators (µ), which exercises the model's udf profile rule and the
+plaintext-requirement machinery; these are their executable bodies.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from repro.exceptions import ExecutionError
+
+
+def extract_year(arguments: dict[str, object]) -> int:
+    """Q8: ``extract(year from o_orderdate)``."""
+    value = arguments["o_orderdate"]
+    if not isinstance(value, date):
+        raise ExecutionError("extract_year expects a date")
+    return value.year
+
+
+def profit_amount(arguments: dict[str, object]) -> float:
+    """Q9: ``l_extendedprice*(1-l_discount) - ps_supplycost*l_quantity``."""
+    price = float(arguments["l_extendedprice"])  # type: ignore[arg-type]
+    discount = float(arguments["l_discount"])  # type: ignore[arg-type]
+    cost = float(arguments["ps_supplycost"])  # type: ignore[arg-type]
+    quantity = float(arguments["l_quantity"])  # type: ignore[arg-type]
+    return round(price * (1.0 - discount) - cost * quantity, 2)
+
+
+def promo_revenue(arguments: dict[str, object]) -> float:
+    """Q14: discounted price when the part type is promotional, else 0."""
+    p_type = arguments["p_type"]
+    price = float(arguments["l_extendedprice"])  # type: ignore[arg-type]
+    if isinstance(p_type, str) and p_type.startswith("PROMO"):
+        return round(price, 2)
+    return 0.0
+
+
+def country_code(arguments: dict[str, object]) -> str:
+    """Q22: ``substring(c_phone from 1 for 2)``."""
+    phone = arguments["c_phone"]
+    if not isinstance(phone, str):
+        raise ExecutionError("country_code expects a string")
+    return phone[:2]
+
+
+#: Registry handed to executors running TPC-H plans.
+TPCH_UDFS = {
+    "extract_year": extract_year,
+    "profit_amount": profit_amount,
+    "promo_revenue": promo_revenue,
+    "country_code": country_code,
+}

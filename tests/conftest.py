@@ -1,0 +1,166 @@
+"""Shared fixtures and plan generators for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.authorization import ANY, Authorization, Policy
+from repro.core.operators import (
+    Aggregate,
+    AggregateFunction,
+    BaseRelationNode,
+    GroupBy,
+    Join,
+    PlanNode,
+    Projection,
+    Selection,
+    Udf,
+)
+from repro.core.plan import QueryPlan
+from repro.core.predicates import (
+    AttributeComparisonPredicate,
+    AttributeValuePredicate,
+    ComparisonOp,
+    equals,
+)
+from repro.core.schema import Relation, Schema
+from repro.engine.table import Table
+from repro.paper_example import RunningExample, build_running_example
+
+
+@pytest.fixture()
+def example() -> RunningExample:
+    """The paper's running example (fresh per test)."""
+    return build_running_example()
+
+
+@pytest.fixture()
+def example_tables() -> dict[str, Table]:
+    """Concrete rows for Hosp and Ins matching the running example."""
+    hosp = Table("Hosp", ("S", "B", "D", "T"), [
+        ("s1", 1980, "stroke", "tpa"),
+        ("s2", 1975, "stroke", "tpa"),
+        ("s3", 1990, "flu", "rest"),
+        ("s4", 1960, "stroke", "surgery"),
+        ("s5", 1955, "stroke", "surgery"),
+    ])
+    ins = Table("Ins", ("C", "P"), [
+        ("s1", 150.0), ("s2", 90.0), ("s3", 200.0),
+        ("s4", 60.0), ("s5", 50.0),
+    ])
+    return {"Hosp": hosp, "Ins": ins}
+
+
+# ---------------------------------------------------------------------------
+# Random plan/policy generation (shared by the property-based tests).
+# ---------------------------------------------------------------------------
+
+SUBJECT_NAMES = ("U", "S1", "S2", "S3")
+
+
+class RandomScenario:
+    """A randomly generated (schema, plan, policy, subjects) bundle."""
+
+    def __init__(self, seed: int, relations: int = 3,
+                 attrs_per_relation: int = 3) -> None:
+        self.rng = random.Random(seed)
+        self.schema = Schema()
+        self.relations = []
+        for r in range(relations):
+            relation = self.schema.add(Relation(
+                f"R{r}",
+                [f"a{r}_{i}" for i in range(attrs_per_relation)],
+                cardinality=100 * (r + 1),
+            ))
+            self.relations.append(relation)
+        self.plan = QueryPlan(self._build_tree())
+        self.policy = self._build_policy()
+        self.subjects = list(SUBJECT_NAMES)
+
+    # -- plan ------------------------------------------------------------
+    def _leaf(self, relation: Relation) -> PlanNode:
+        names = list(relation.attribute_names)
+        keep = self.rng.sample(names, k=self.rng.randint(2, len(names)))
+        return BaseRelationNode(relation, keep)
+
+    def _maybe_select(self, node: PlanNode,
+                      attrs: list[str]) -> tuple[PlanNode, list[str]]:
+        choice = self.rng.random()
+        if choice < 0.4 and attrs:
+            attribute = self.rng.choice(attrs)
+            op = self.rng.choice(
+                [ComparisonOp.EQ, ComparisonOp.GT, ComparisonOp.LE]
+            )
+            node = Selection(
+                node, AttributeValuePredicate(attribute, op, 7)
+            )
+        elif choice < 0.6 and len(attrs) >= 2:
+            first, second = self.rng.sample(attrs, 2)
+            node = Selection(node, AttributeComparisonPredicate(
+                first, ComparisonOp.EQ, second))
+        return node, attrs
+
+    def _build_tree(self) -> PlanNode:
+        subtrees: list[tuple[PlanNode, list[str]]] = []
+        for relation in self.relations:
+            leaf = self._leaf(relation)
+            attrs = sorted(leaf.projection)
+            node, attrs = self._maybe_select(leaf, attrs)
+            subtrees.append((node, attrs))
+        current, current_attrs = subtrees[0]
+        for node, attrs in subtrees[1:]:
+            left_key = self.rng.choice(current_attrs)
+            right_key = self.rng.choice(attrs)
+            current = Join(current, node, equals(left_key, right_key))
+            current_attrs = current_attrs + attrs
+        if self.rng.random() < 0.5 and len(current_attrs) >= 2:
+            group = [current_attrs[0]]
+            target = current_attrs[-1]
+            if target not in group:
+                if self.rng.random() < 0.8:
+                    function = self.rng.choice(
+                        [AggregateFunction.SUM, AggregateFunction.AVG,
+                         AggregateFunction.MIN])
+                    aggregate = Aggregate(function, target,
+                                          alias="agg_out")
+                else:
+                    aggregate = Aggregate(AggregateFunction.COUNT,
+                                          alias="agg_out")
+                current = GroupBy(current, group, aggregate)
+        elif self.rng.random() < 0.5 and len(current_attrs) >= 2:
+            keep = self.rng.sample(
+                current_attrs, k=self.rng.randint(1, len(current_attrs))
+            )
+            current = Projection(current, keep)
+        return current
+
+    # -- policy ----------------------------------------------------------
+    def _build_policy(self) -> Policy:
+        policy = Policy(self.schema)
+        for relation in self.relations:
+            names = list(relation.attribute_names)
+            policy.grant(Authorization(relation, names, (), "U"))
+            for subject in ("S1", "S2", "S3"):
+                split = self.rng.randint(0, len(names))
+                shuffled = names[:]
+                self.rng.shuffle(shuffled)
+                plaintext = shuffled[:split]
+                encrypted_count = self.rng.randint(
+                    0, len(names) - split
+                )
+                encrypted = shuffled[split:split + encrypted_count]
+                if plaintext or encrypted:
+                    policy.grant(Authorization(
+                        relation, plaintext, encrypted, subject
+                    ))
+            if self.rng.random() < 0.3:
+                policy.grant(Authorization(relation, (), names, ANY))
+        return policy
+
+
+@pytest.fixture(params=range(6))
+def random_scenario(request) -> RandomScenario:
+    """Six deterministic random scenarios (seeded)."""
+    return RandomScenario(seed=request.param)

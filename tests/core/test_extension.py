@@ -1,0 +1,157 @@
+"""Minimally extended plans (Definition 5.4) — Figure 7 and edge cases."""
+
+import pytest
+
+from repro.core.extension import minimally_extend
+from repro.core.operators import Decrypt, Encrypt
+from repro.core.visibility import verify_assignment
+from repro.exceptions import PlanError, UnauthorizedError
+
+
+class TestFigure7a:
+    def test_encrypted_attributes(self, example):
+        extended = minimally_extend(
+            example.plan, example.policy, example.assignment_7a(),
+            owners=example.owners,
+        )
+        assert extended.encrypted_attributes == frozenset("SCP")
+
+    def test_source_encryption(self, example):
+        extended = minimally_extend(
+            example.plan, example.policy, example.assignment_7a(),
+            owners=example.owners,
+        )
+        # I encrypts C and P of Ins at the source (Figure 7a).
+        assert extended.source_encryption["Ins"] == frozenset("CP")
+        # Hosp's S is encrypted after the selection, not at the leaf.
+        assert "Hosp" not in extended.source_encryption
+
+    def test_assignment_is_authorized(self, example):
+        extended = minimally_extend(
+            example.plan, example.policy, example.assignment_7a(),
+            owners=example.owners,
+        )
+        assert verify_assignment(
+            extended.plan, example.policy, extended.assignment)
+
+    def test_p_decrypted_before_having(self, example):
+        extended = minimally_extend(
+            example.plan, example.policy, example.assignment_7a(),
+            owners=example.owners,
+        )
+        decrypts = extended.decryption_operations()
+        assert any(d.attributes == frozenset("P") for d in decrypts)
+        # The decrypt is assigned to Y (the having's assignee).
+        for node in decrypts:
+            if node.attributes == frozenset("P"):
+                assert extended.assignee(node) == "Y"
+
+
+class TestFigure7b:
+    def test_encrypted_attributes(self, example):
+        extended = minimally_extend(
+            example.plan, example.policy, example.assignment_7b(),
+            owners=example.owners,
+        )
+        assert extended.encrypted_attributes == frozenset("DP")
+
+    def test_d_encrypted_below_selection(self, example):
+        # "D is encrypted before executing the selection ... so not to
+        # leave an implicit plaintext trace" (Fig. 7b note).
+        extended = minimally_extend(
+            example.plan, example.policy, example.assignment_7b(),
+            owners=example.owners,
+        )
+        for node in extended.plan.postorder():
+            if isinstance(node, Encrypt) and "D" in node.attributes:
+                # The encrypt sits directly on the Hosp leaf.
+                assert node.left.is_leaf
+                assert extended.assignee(node) == "H"
+                break
+        else:
+            pytest.fail("no encryption of D found")
+
+    def test_selection_profile_shows_encrypted_implicit_d(self, example):
+        extended = minimally_extend(
+            example.plan, example.policy, example.assignment_7b(),
+            owners=example.owners,
+        )
+        profiles = extended.plan.profiles()
+        for node in extended.plan.postorder():
+            if node.label().startswith("σ[D="):
+                assert "D" in profiles[node].implicit_encrypted
+                assert "D" not in profiles[node].implicit_plaintext
+                break
+        else:
+            pytest.fail("selection not found")
+
+
+class TestGuards:
+    def test_rejects_pre_extended_plans(self, example):
+        extended = minimally_extend(
+            example.plan, example.policy, example.assignment_7a(),
+            owners=example.owners,
+        )
+        with pytest.raises(PlanError):
+            minimally_extend(extended.plan, example.policy,
+                             extended.assignment)
+
+    def test_rejects_incomplete_assignment(self, example):
+        with pytest.raises(PlanError):
+            minimally_extend(example.plan, example.policy,
+                             {example.join: "X"})
+
+    def test_rejects_non_candidate_assignment(self, example):
+        # I has non-uniform visibility over {S, C}: never a candidate
+        # for the join; the extension must fail verification.
+        bad = dict(example.assignment_7a())
+        bad[example.join] = "I"
+        with pytest.raises(UnauthorizedError):
+            minimally_extend(example.plan, example.policy, bad,
+                             owners=example.owners)
+
+    def test_deliver_to_decrypts_root(self, example):
+        # Assign everything processable to X (encrypted end to end) and
+        # deliver to U: the final result must be decrypted for U.
+        assignment = {
+            example.selection: "X",
+            example.join: "X",
+            example.group_by: "X",
+            example.having: "Y",
+        }
+        extended = minimally_extend(
+            example.plan, example.policy, assignment,
+            owners=example.owners, deliver_to="U",
+        )
+        root_profile = extended.plan.root_profile()
+        assert not root_profile.visible_encrypted
+
+    def test_letter_of_definition_mode(self, example):
+        # With opportunistic decryption off, only Ap-driven decrypts
+        # appear (the letter of Def. 5.4(i)).
+        extended = minimally_extend(
+            example.plan, example.policy, example.assignment_7a(),
+            owners=example.owners, opportunistic_decryption=False,
+        )
+        decrypts = extended.decryption_operations()
+        assert all(d.attributes == frozenset("P") for d in decrypts)
+
+
+class TestHarmonisation:
+    def test_mixed_comparison_resolved(self, random_scenario):
+        """Extensions of arbitrary candidate assignments always verify."""
+        from repro.core.candidates import compute_candidates
+
+        scenario = random_scenario
+        candidates = compute_candidates(
+            scenario.plan, scenario.policy, scenario.subjects)
+        assignment = {}
+        for node in scenario.plan.operations():
+            names = candidates[node]
+            if not names:
+                pytest.skip("scenario has an unassignable operation")
+            assignment[node] = sorted(names)[0]
+        extended = minimally_extend(
+            scenario.plan, scenario.policy, assignment)
+        assert verify_assignment(
+            extended.plan, scenario.policy, extended.assignment)

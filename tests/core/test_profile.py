@@ -1,0 +1,136 @@
+"""Unit tests for relation profiles (Definition 3.1)."""
+
+import pytest
+
+from repro.core.equivalence import EquivalenceClasses
+from repro.core.profile import RelationProfile
+from repro.exceptions import ProfileError
+
+
+class TestConstruction:
+    def test_base_relation_profile(self):
+        profile = RelationProfile.for_base_relation(["S", "B", "D", "T"])
+        assert profile.visible_plaintext == frozenset("SBDT")
+        assert not profile.visible_encrypted
+        assert not profile.implicit
+        assert not profile.equivalences
+
+    def test_rejects_overlapping_visible_sets(self):
+        with pytest.raises(ProfileError):
+            RelationProfile(
+                visible_plaintext=frozenset("A"),
+                visible_encrypted=frozenset("A"),
+            )
+
+    def test_derived_views(self):
+        profile = RelationProfile(
+            visible_plaintext=frozenset("A"),
+            visible_encrypted=frozenset("B"),
+            implicit_plaintext=frozenset("C"),
+            implicit_encrypted=frozenset("D"),
+        )
+        assert profile.visible == frozenset("AB")
+        assert profile.implicit == frozenset("CD")
+        assert profile.plaintext == frozenset("AC")
+        assert profile.encrypted == frozenset("BD")
+        assert profile.all_attributes() == frozenset("ABCD")
+
+
+class TestAlgebra:
+    def test_project_keeps_only_listed_visible(self):
+        profile = RelationProfile(
+            visible_plaintext=frozenset("AB"),
+            implicit_plaintext=frozenset("C"),
+        )
+        projected = profile.project({"A"})
+        assert projected.visible_plaintext == frozenset("A")
+        assert projected.implicit_plaintext == frozenset("C")
+
+    def test_project_rejects_unknown(self):
+        profile = RelationProfile(visible_plaintext=frozenset("A"))
+        with pytest.raises(ProfileError):
+            profile.project({"Z"})
+
+    def test_add_implicit_tracks_form(self):
+        profile = RelationProfile(
+            visible_plaintext=frozenset("A"),
+            visible_encrypted=frozenset("B"),
+        )
+        result = profile.add_implicit({"A", "B"})
+        assert result.implicit_plaintext == frozenset("A")
+        assert result.implicit_encrypted == frozenset("B")
+
+    def test_add_implicit_rejects_invisible(self):
+        profile = RelationProfile(visible_plaintext=frozenset("A"))
+        with pytest.raises(ProfileError):
+            profile.add_implicit({"Z"})
+
+    def test_combine_unions_componentwise(self):
+        left = RelationProfile(
+            visible_plaintext=frozenset("A"),
+            implicit_plaintext=frozenset("C"),
+            equivalences=EquivalenceClasses.of({"A", "C"}),
+        )
+        right = RelationProfile(
+            visible_encrypted=frozenset("B"),
+            implicit_encrypted=frozenset("D"),
+        )
+        combined = left.combine(right)
+        assert combined.visible_plaintext == frozenset("A")
+        assert combined.visible_encrypted == frozenset("B")
+        assert combined.implicit_plaintext == frozenset("C")
+        assert combined.implicit_encrypted == frozenset("D")
+        assert combined.equivalences.are_equivalent("A", "C")
+
+    def test_encrypt_moves_visible_plaintext(self):
+        profile = RelationProfile(visible_plaintext=frozenset("AB"))
+        encrypted = profile.encrypt({"A"})
+        assert encrypted.visible_plaintext == frozenset("B")
+        assert encrypted.visible_encrypted == frozenset("A")
+
+    def test_encrypt_rejects_non_plaintext(self):
+        profile = RelationProfile(visible_encrypted=frozenset("A"))
+        with pytest.raises(ProfileError):
+            profile.encrypt({"A"})
+
+    def test_decrypt_moves_visible_encrypted(self):
+        profile = RelationProfile(visible_encrypted=frozenset("A"))
+        decrypted = profile.decrypt({"A"})
+        assert decrypted.visible_plaintext == frozenset("A")
+        assert not decrypted.visible_encrypted
+
+    def test_decrypt_rejects_non_encrypted(self):
+        profile = RelationProfile(visible_plaintext=frozenset("A"))
+        with pytest.raises(ProfileError):
+            profile.decrypt({"A"})
+
+    def test_encrypt_decrypt_roundtrip(self):
+        profile = RelationProfile(
+            visible_plaintext=frozenset("AB"),
+            implicit_plaintext=frozenset("C"),
+        )
+        assert profile.encrypt({"A"}).decrypt({"A"}) == profile
+
+    def test_implicit_survives_encryption(self):
+        # Encrypting a visible attribute never repairs an implicit leak.
+        profile = RelationProfile(
+            visible_plaintext=frozenset("A"),
+            implicit_plaintext=frozenset("A"),
+        )
+        encrypted = profile.encrypt({"A"})
+        assert "A" in encrypted.implicit_plaintext
+
+
+class TestDescribe:
+    def test_paper_notation(self):
+        profile = RelationProfile(
+            visible_plaintext=frozenset("T"),
+            visible_encrypted=frozenset("P"),
+            implicit_plaintext=frozenset("D"),
+            equivalences=EquivalenceClasses.of({"S", "C"}),
+        )
+        assert profile.describe() == "v:TP* i:D ≃:{C,S}"
+
+    def test_empty_components_render_dashes(self):
+        profile = RelationProfile(visible_plaintext=frozenset("A"))
+        assert profile.describe() == "v:A i:- ≃:-"

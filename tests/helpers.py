@@ -1,0 +1,19 @@
+"""Shared helpers importable from any test module."""
+
+from __future__ import annotations
+
+from repro.core.operators import BaseRelationNode, Udf
+from repro.core.plan import QueryPlan
+from repro.core.schema import Relation, Schema
+
+
+def make_udf_plan(schema_attrs: int = 3) -> tuple[QueryPlan, Schema]:
+    """A small plan with a udf, for requirement/extension tests."""
+    schema = Schema()
+    relation = schema.add(Relation(
+        "M", [f"m{i}" for i in range(schema_attrs)], cardinality=50,
+    ))
+    leaf = BaseRelationNode(relation)
+    udf = Udf(leaf, ["m0", "m1"], "m0", encrypted_capable=False,
+              name="model")
+    return QueryPlan(udf), schema

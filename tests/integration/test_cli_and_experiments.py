@@ -1,0 +1,64 @@
+"""CLI surface and experiment-module behaviours."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.economics import EconomicResults, run_economics
+from repro.exceptions import ReproError
+
+
+class TestCli:
+    def test_example_command(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "Figure 8" in out
+
+    def test_fig9_subset(self, capsys):
+        assert main(["fig9", "--scale", "0.05", "--queries", "3,13"]) == 0
+        out = capsys.readouterr().out
+        assert "Q3" in out and "Q13" in out and "Q1 " not in out
+
+    def test_dispatch_command(self, capsys):
+        assert main(["dispatch"]) == 0
+        out = capsys.readouterr().out
+        assert "reqX" in out or "⟦reqX⟧" in out or "X [" in out
+
+    def test_ablate_mix(self, capsys):
+        assert main(["ablate-mix", "--scale", "0.05",
+                     "--queries", "3,10"]) == 0
+        out = capsys.readouterr().out
+        assert "uniform-visibility penalty" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestEconomicsApi:
+    @pytest.fixture(scope="class")
+    def results(self) -> EconomicResults:
+        return run_economics(scale=0.05, queries=(3, 13))
+
+    def test_costs_indexed_per_query_and_scenario(self, results):
+        assert len(results.costs) == 2 * 3
+        point = results.cost_of(3, "UA")
+        assert point.total_usd > 0 and point.assignees
+
+    def test_normalization_baseline_is_one(self, results):
+        assert results.normalized(3, "UA") == 1.0
+
+    def test_missing_point_raises(self, results):
+        with pytest.raises(ReproError):
+            results.cost_of(7, "UA")
+
+    def test_tables_render(self, results):
+        assert "Q3" in results.figure9_table()
+        assert "savings vs UA" in results.figure10_table()
+
+    def test_savings_are_fractions(self, results):
+        assert 0.0 <= results.saving("UAPenc") < 1.0
+        assert 0.0 <= results.saving("UAPmix") < 1.0
+
+    def test_cumulative_rows_accumulate(self, results):
+        rows = results.cumulative_rows()
+        assert rows[-1][1] == pytest.approx(len(rows))  # UA sums to N

@@ -1,0 +1,211 @@
+"""SQL tokenizer, parser, and planner."""
+
+from datetime import date
+
+import pytest
+
+from repro.core.operators import (
+    GroupBy,
+    Join,
+    Projection,
+    Selection,
+    BaseRelationNode,
+)
+from repro.core.predicates import (
+    AttributeComparisonPredicate,
+    AttributeValuePredicate,
+    ComparisonOp,
+)
+from repro.exceptions import SqlAnalysisError, SqlSyntaxError
+from repro.paper_example import build_schema
+from repro.sql import parse_sql, plan_query, tokenize
+from repro.sql.tokenizer import TokenType, unquote_string
+
+
+class TestTokenizer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("SELECT T FROM Hosp")
+        assert [t.type for t in tokens[:3]] == [
+            TokenType.KEYWORD, TokenType.IDENTIFIER, TokenType.KEYWORD,
+        ]
+        assert tokens[0].value == "select"  # case-folded
+
+    def test_numbers_strings_operators(self):
+        tokens = tokenize("x >= 10.5 and y <> 'a''b'")
+        values = [t.value for t in tokens[:-1]]
+        assert "10.5" in values and ">=" in values and "<>" in values
+        assert unquote_string("'a''b'") == "a'b"
+
+    def test_comments_and_newlines(self):
+        tokens = tokenize("select a -- note\nfrom R")
+        assert [t.value for t in tokens[:-1]] == [
+            "select", "a", "from", "R",
+        ]
+        assert tokens[2].line == 2
+
+    def test_bad_character_reports_position(self):
+        with pytest.raises(SqlSyntaxError) as error:
+            tokenize("select @")
+        assert error.value.column == 8
+
+    def test_bang_equals_normalised(self):
+        tokens = tokenize("a != 1")
+        assert tokens[1].value == "<>"
+
+
+class TestParser:
+    def test_running_example_query(self):
+        query = parse_sql(
+            "select T, avg(P) from Hosp join Ins on S=C "
+            "where D='stroke' group by T having avg(P)>100")
+        assert len(query.select) == 2
+        assert query.select[1].is_aggregate
+        assert query.from_table.name == "Hosp"
+        assert query.joins[0].table.name == "Ins"
+        assert len(query.where) == 1 and len(query.having) == 1
+
+    def test_in_between_like_date(self):
+        query = parse_sql(
+            "select a from R where a in (1, 2) and b between 3 and 4 "
+            "and c like 'x%' and d >= date '1994-01-01'")
+        ops = [c.op for c in query.where]
+        assert ComparisonOp.IN in ops and ComparisonOp.LIKE in ops
+        literal = query.where[-1].right
+        assert literal.value == date(1994, 1, 1)
+
+    def test_count_star_gets_default_alias(self):
+        query = parse_sql("select count(*) from R group by a")
+        call = query.select[0].expression
+        assert call.alias == "count"
+
+    def test_syntax_errors(self):
+        for bad in ("select", "select a from", "select a from R where",
+                    "select a,, b from R", "select a from R extra"):
+            with pytest.raises(SqlSyntaxError):
+                parse_sql(bad)
+
+    def test_qualified_columns(self):
+        query = parse_sql("select Hosp.T from Hosp")
+        assert query.select[0].expression.table == "Hosp"
+
+    def test_str_roundtrips_informally(self):
+        query = parse_sql("select T from Hosp where D = 'x'")
+        assert "select T" in str(query) and "where" in str(query)
+
+
+class TestPlanner:
+    def test_running_example_plan_shape(self):
+        plan = plan_query(
+            "select T, avg(P) from Hosp join Ins on S=C "
+            "where D='stroke' group by T having avg(P)>100",
+            build_schema())
+        labels = [n.label() for n in plan.postorder()]
+        # The paper's Figure 1(a) operators, in order (the planner may
+        # interleave pruning projections that drop consumed attributes).
+        core = [l for l in labels if not l.startswith("π[") or "Hosp" in l]
+        assert core == [
+            "π[S,D,T] Hosp(S,D,T)",
+            "σ[D='stroke']",
+            "Ins(C,P)",
+            "⋈[S=C]",
+            "γ[T; avg(P)]",
+            "σ[P>100]",
+        ]
+        # D is consumed by the selection and pruned before the join.
+        join = next(n for n in plan.postorder() if isinstance(n, Join))
+        assert "D" not in plan.profiles()[join].visible
+
+    def test_projection_pushdown_into_leaves(self):
+        plan = plan_query("select T from Hosp where D='x'", build_schema())
+        (leaf,) = plan.leaves()
+        assert leaf.projection == frozenset({"T", "D"})
+
+    def test_selection_pushed_below_join(self):
+        plan = plan_query(
+            "select T, P from Hosp join Ins on S=C where D='x'",
+            build_schema())
+        join = plan.root if isinstance(plan.root, Join) else \
+            plan.root.left
+        assert isinstance(join, Join)
+        assert isinstance(join.left, (Selection, Projection))
+
+    def test_where_join_condition_adopted(self):
+        plan = plan_query(
+            "select T, P from Hosp, Ins where S=C and D='x'",
+            build_schema())
+        joins = [n for n in plan.postorder() if isinstance(n, Join)]
+        assert len(joins) == 1  # comma join upgraded via WHERE equality
+
+    def test_between_expands_to_two_predicates(self):
+        plan = plan_query(
+            "select T from Hosp where B between 1960 and 1980",
+            build_schema())
+        selections = [n for n in plan.postorder()
+                      if isinstance(n, Selection)]
+        basics = [b for s in selections
+                  for b in s.predicate.basic_conditions()]
+        ops = sorted(str(b.op) for b in basics
+                     if isinstance(b, AttributeValuePredicate))
+        assert ops == ["<=", ">="]
+
+    def test_having_on_aggregate_alias(self):
+        plan = plan_query(
+            "select T, sum(P) as total from Hosp join Ins on S=C "
+            "group by T having sum(P) > 10", build_schema())
+        having = plan.root
+        assert isinstance(having, Selection)
+        (basic,) = having.predicate.basic_conditions()
+        assert basic.attribute == "total"
+
+    def test_having_without_matching_aggregate_rejected(self):
+        with pytest.raises(SqlAnalysisError):
+            plan_query(
+                "select T, sum(P) from Hosp join Ins on S=C "
+                "group by T having min(P) > 10", build_schema())
+
+    def test_unknown_relation_and_column(self):
+        with pytest.raises(SqlAnalysisError):
+            plan_query("select T from Nope", build_schema())
+        with pytest.raises(SqlAnalysisError):
+            plan_query("select zzz from Hosp", build_schema())
+
+    def test_self_join_rejected(self):
+        with pytest.raises(SqlAnalysisError):
+            plan_query("select T from Hosp join Hosp on S=S",
+                       build_schema())
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(SqlAnalysisError):
+            plan_query("select T from Hosp group by T", build_schema())
+
+    def test_intra_relation_comparison_stays_local(self):
+        plan = plan_query(
+            "select l_orderkey from lineitem "
+            "where l_commitdate < l_receiptdate",
+            __import__("repro.tpch.schema",
+                       fromlist=["build_tpch_schema"]).build_tpch_schema())
+        selections = [n for n in plan.postorder()
+                      if isinstance(n, Selection)]
+        assert selections
+        (basic,) = selections[0].predicate.basic_conditions()
+        assert isinstance(basic, AttributeComparisonPredicate)
+
+    def test_attribute_value_flipped_literal(self):
+        plan = plan_query("select T from Hosp where 1980 < B",
+                          build_schema())
+        selections = [n for n in plan.postorder()
+                      if isinstance(n, Selection)]
+        (basic,) = selections[0].predicate.basic_conditions()
+        assert basic.attribute == "B" and basic.op is ComparisonOp.GT
+
+    def test_final_projection_added_when_narrower(self):
+        plan = plan_query("select T from Hosp where B > 1", build_schema())
+        assert isinstance(plan.root, Projection)
+
+    def test_multi_aggregate_select(self):
+        plan = plan_query(
+            "select T, sum(P) as s, avg(P) as a, count(*) as n "
+            "from Hosp join Ins on S=C group by T", build_schema())
+        group = plan.root
+        assert isinstance(group, GroupBy)
+        assert {a.output_name for a in group.aggregates} == {"s", "a", "n"}

@@ -1,0 +1,39 @@
+"""Run the doctests embedded in the library's docstrings.
+
+Every public-API example in a docstring is executable documentation;
+this module keeps them honest.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro.core.authorization",
+    "repro.core.equivalence",
+    "repro.core.keys",
+    "repro.core.plan",
+    "repro.core.predicates",
+    "repro.core.profile",
+    "repro.core.requirements",
+    "repro.core.visibility",
+    "repro.cost.pricing",
+    "repro.crypto.keymanager",
+    "repro.crypto.ope",
+    "repro.crypto.paillier",
+    "repro.crypto.symmetric",
+    "repro.engine.table",
+    "repro.sql.parser",
+    "repro.sql.planner",
+    "repro.sql.tokenizer",
+    "repro.tpch.datagen",
+    "repro.tpch.scenarios",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"

@@ -1,0 +1,173 @@
+"""TPC-H substrate: schema, generator, 22 queries, scenarios."""
+
+import pytest
+
+from repro.core.candidates import compute_candidates
+from repro.engine import Executor
+from repro.exceptions import AuthorizationError, PlanError
+from repro.tpch import (
+    TPCH_UDFS,
+    all_queries,
+    all_scenarios,
+    build_tpch_schema,
+    generate,
+    query,
+    query_plan,
+    scenario,
+    table_owners,
+    table_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return build_tpch_schema(scale=0.01)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(scale=0.001, seed=7)
+
+
+class TestSchema:
+    def test_eight_relations(self, schema):
+        assert len(schema) == 8
+
+    def test_scaling_rules(self):
+        assert table_rows("region", 0.1) == 5  # unscaled
+        assert table_rows("lineitem", 0.1) == 600_000
+        assert table_rows("orders", 0.01) == 15_000
+
+    def test_owners_cover_all_tables(self, schema):
+        owners = table_owners()
+        assert set(owners) == set(r.name for r in schema)
+        assert set(owners.values()) == {"A1", "A2"}
+
+    def test_global_attribute_uniqueness(self, schema):
+        assert len(schema.all_attributes()) == sum(
+            len(r) for r in schema)
+
+
+class TestDatagen:
+    def test_sizes_match_scaling(self, data):
+        assert len(data.table("region")) == 5
+        assert len(data.table("nation")) == 25
+        assert len(data.table("lineitem")) == table_rows("lineitem", 0.001)
+
+    def test_referential_integrity(self, data):
+        nation_keys = set(data.table("nation").column_values("n_nationkey"))
+        for key in data.table("customer").column_values("c_nationkey"):
+            assert key in nation_keys
+        order_keys = set(data.table("orders").column_values("o_orderkey"))
+        for key in data.table("lineitem").column_values("l_orderkey"):
+            assert key in order_keys
+
+    def test_deterministic_given_seed(self):
+        first = generate(scale=0.001, seed=3)
+        second = generate(scale=0.001, seed=3)
+        assert first.table("orders").rows == second.table("orders").rows
+
+    def test_value_domains(self, data):
+        segments = set(data.table("customer").column_values("c_mktsegment"))
+        assert segments <= {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                            "HOUSEHOLD", "MACHINERY"}
+        flags = set(data.table("lineitem").column_values("l_returnflag"))
+        assert flags <= {"A", "N", "R"}
+
+
+class TestQueries:
+    def test_all_22_defined(self):
+        assert len(all_queries()) == 22
+        assert query(1).number == 1
+        with pytest.raises(PlanError):
+            query(23)
+
+    @pytest.mark.parametrize("number", range(1, 23))
+    def test_plan_builds_and_profiles(self, schema, number):
+        plan = query_plan(number, schema)
+        profiles = plan.profiles()
+        assert profiles[plan.root].visible
+
+    @pytest.mark.parametrize("number", [1, 3, 6, 12, 16, 18])
+    def test_queries_execute_on_generated_data(self, schema, data,
+                                               number):
+        plan = query_plan(number, schema)
+        result = Executor(data.catalog(), udfs=TPCH_UDFS).execute(plan)
+        assert result.columns  # shape only; values depend on the seed
+
+    @pytest.mark.parametrize("number", [8, 9, 14, 22])
+    def test_udf_queries_execute(self, schema, data, number):
+        plan = query_plan(number, schema)
+        result = Executor(data.catalog(), udfs=TPCH_UDFS).execute(plan)
+        assert result.columns
+
+    def test_q1_aggregates_correctly(self, schema, data):
+        plan = query_plan(1, schema)
+        result = Executor(data.catalog(), udfs=TPCH_UDFS).execute(plan)
+        rows = list(result.iter_dicts())
+        assert rows
+        lineitem = data.table("lineitem")
+        cutoff = __import__("datetime").date(1998, 9, 2)
+        manual = {}
+        for row in lineitem.iter_dicts():
+            if row["l_shipdate"] <= cutoff:
+                key = (row["l_returnflag"], row["l_linestatus"])
+                bucket = manual.setdefault(key, [0, 0])
+                bucket[0] += row["l_quantity"]
+                bucket[1] += 1
+        for row in rows:
+            key = (row["l_returnflag"], row["l_linestatus"])
+            assert row["sum_qty"] == manual[key][0]
+            assert row["count_order"] == manual[key][1]
+
+    def test_approximations_documented(self):
+        for q in all_queries():
+            assert q.approximations, f"Q{q.number} lists no approximations"
+
+
+class TestScenarios:
+    def test_ua_denies_providers(self, schema):
+        ua = scenario("UA", schema)
+        view = ua.policy.view("P1")
+        assert not view.plaintext and not view.encrypted
+
+    def test_uapenc_grants_all_encrypted(self, schema):
+        enc = scenario("UAPenc", schema)
+        view = enc.policy.view("P1")
+        assert view.encrypted == schema.all_attributes()
+
+    def test_uapmix_prefix_split(self, schema):
+        mix = scenario("UAPmix", schema)
+        view = mix.policy.view("P1")
+        assert view.plaintext and view.encrypted
+        assert view.plaintext | view.encrypted == schema.all_attributes()
+
+    def test_unknown_scenario_rejected(self, schema):
+        with pytest.raises(AuthorizationError):
+            scenario("UAPzzz", schema)
+        with pytest.raises(AuthorizationError):
+            scenario("UAPmix", schema, mix_split="diagonal")
+
+    def test_alternating_split_breaks_uniform_visibility(self, schema):
+        # The ablation premise: under the alternating split, providers
+        # lose the big joins to condition 3 (non-uniform visibility).
+        prefix = all_scenarios(schema, "prefix")["UAPmix"]
+        alternating = all_scenarios(schema, "alternating")["UAPmix"]
+        plan_prefix = query_plan(3, schema)
+        plan_alt = query_plan(3, schema)
+        c_prefix = compute_candidates(
+            plan_prefix, prefix.policy, prefix.subject_names)
+        c_alt = compute_candidates(
+            plan_alt, alternating.policy, alternating.subject_names)
+        joins_prefix = [n for n in plan_prefix.operations()
+                        if n.label().startswith("⋈")]
+        joins_alt = [n for n in plan_alt.operations()
+                     if n.label().startswith("⋈")]
+        prefix_providers = {
+            s for n in joins_prefix for s in c_prefix[n]
+            if s.startswith("P")
+        }
+        alt_providers = {
+            s for n in joins_alt for s in c_alt[n] if s.startswith("P")
+        }
+        assert prefix_providers and not alt_providers

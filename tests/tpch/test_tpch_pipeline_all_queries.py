@@ -1,0 +1,82 @@
+"""The full §6 pipeline on every TPC-H query under every scenario.
+
+These are the workhorse integration checks behind Figures 9/10: for all
+22 queries × 3 scenarios, the assignment pipeline must produce a
+verified-authorized extended plan whose keys distribute consistently,
+with scenario costs dominated UA ≥ UAPenc ≥ UAPmix.
+"""
+
+import pytest
+
+from repro.core.visibility import verify_assignment
+from repro.cost.pricing import PriceList
+from repro.core.assignment import assign
+from repro.tpch import all_scenarios, build_tpch_schema, query_plan
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return build_tpch_schema(SCALE)
+
+
+@pytest.fixture(scope="module")
+def scenarios(schema):
+    return all_scenarios(schema)
+
+
+@pytest.mark.parametrize("number", range(1, 23))
+def test_pipeline_all_queries_all_scenarios(schema, scenarios, number):
+    costs = {}
+    for name, scenario_obj in scenarios.items():
+        plan = query_plan(number, schema)
+        prices = PriceList.from_subjects(scenario_obj.subjects)
+        outcome = assign(
+            plan, scenario_obj.policy, scenario_obj.subject_names,
+            prices, user=scenario_obj.user, owners=scenario_obj.owners,
+        )
+        # The chosen plan is genuinely authorized...
+        assert verify_assignment(
+            outcome.extended.plan, scenario_obj.policy,
+            outcome.extended.assignment,
+        )
+        # ...its assignment is drawn from Λ...
+        for node, subject in outcome.assignment.items():
+            assert subject in outcome.candidates[node]
+        # ...and every encrypted attribute has an established key.
+        for attribute in outcome.extended.encrypted_attributes:
+            assert outcome.keys.key_for(attribute)
+        costs[name] = outcome.cost.total_usd
+    assert costs["UAPenc"] <= costs["UA"] * (1 + 1e-9)
+    assert costs["UAPmix"] <= costs["UAPenc"] * (1 + 1e-9)
+
+
+@pytest.mark.parametrize("number", [3, 9, 18])
+def test_ua_assignments_avoid_providers(schema, scenarios, number):
+    """In UA, providers hold no authorizations and never appear."""
+    scenario_obj = scenarios["UA"]
+    plan = query_plan(number, schema)
+    prices = PriceList.from_subjects(scenario_obj.subjects)
+    outcome = assign(
+        plan, scenario_obj.policy, scenario_obj.subject_names, prices,
+        user=scenario_obj.user, owners=scenario_obj.owners,
+    )
+    assert not any(
+        subject.startswith("P") for subject in outcome.assignment.values()
+    )
+
+
+@pytest.mark.parametrize("number", [5, 13, 21])
+def test_uapenc_assignments_use_providers(schema, scenarios, number):
+    """Provider-friendly queries actually delegate under UAPenc."""
+    scenario_obj = scenarios["UAPenc"]
+    plan = query_plan(number, schema)
+    prices = PriceList.from_subjects(scenario_obj.subjects)
+    outcome = assign(
+        plan, scenario_obj.policy, scenario_obj.subject_names, prices,
+        user=scenario_obj.user, owners=scenario_obj.owners,
+    )
+    assert any(
+        subject.startswith("P") for subject in outcome.assignment.values()
+    )
