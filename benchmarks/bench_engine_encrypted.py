@@ -40,7 +40,9 @@ def example_data():
 
 def test_plaintext_execution(benchmark, example_data):
     example = build_running_example()
-    executor = Executor(example_data)
+    # cache_size=0: measure execution, not subtree-cache lookups (the
+    # benchmark calls the same plan object repeatedly).
+    executor = Executor(example_data, cache_size=0)
     result = benchmark(lambda: executor.execute(example.plan))
     assert result.columns == ("T", "P")
 

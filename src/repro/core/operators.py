@@ -418,6 +418,34 @@ class Join(PlanNode):
             basic.attributes() for basic in self.condition.basic_conditions()
         )
 
+    def partition_condition(
+        self, left_columns: Iterable[str], right_columns: Iterable[str],
+    ) -> tuple[list[tuple[str, str]],
+               list[AttributeComparisonPredicate]]:
+        """Split the condition for hash-partitioned execution.
+
+        Returns ``(equalities, residual)``: every equality conjunct that
+        bridges the two operands becomes an ``(left_attr, right_attr)``
+        pair the executor can build/probe a hash table on; everything
+        else (non-equality operators, or comparisons confined to one
+        operand) is a residual conjunct to test per matched pair.
+        """
+        left_set = frozenset(left_columns)
+        right_set = frozenset(right_columns)
+        equalities: list[tuple[str, str]] = []
+        residual: list[AttributeComparisonPredicate] = []
+        for basic in self.condition.basic_conditions():
+            assert isinstance(basic, AttributeComparisonPredicate)
+            if basic.op is ComparisonOp.EQ:
+                left_attr, right_attr = basic.left, basic.right
+                if left_attr in right_set and right_attr in left_set:
+                    left_attr, right_attr = right_attr, left_attr
+                if left_attr in left_set and right_attr in right_set:
+                    equalities.append((left_attr, right_attr))
+                    continue
+            residual.append(basic)
+        return equalities, residual
+
     def operand_attributes(self) -> frozenset[str]:
         return self.condition.attributes()
 

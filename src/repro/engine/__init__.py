@@ -4,13 +4,63 @@ Executes (extended) query plans over real tuples: relational operators
 work transparently over plaintext values and over the encrypted tokens
 produced by the Encrypt operator, with runtime capability checks that
 mirror the model (deterministic equality, OPE ranges, Paillier addition).
+
+NULL semantics
+--------------
+SQL NULL is represented as Python ``None`` and follows the SQL standard
+throughout the engine:
+
+* *ordered* comparisons (``<``, ``<=``, ``>``, ``>=``) with a NULL
+  operand are UNKNOWN and collapse to False in filters
+  (``compare_plain`` short-circuits them); equality and inequality
+  keep the seed engine's Python semantics — ``NULL = NULL`` matches,
+  ``NULL <> x`` holds — and hash-join keys group NULL with NULL.
+  ``NULL LIKE p`` is UNKNOWN (False).  A comparison between NULL and a
+  ciphertext is not a representation mix (Encrypt passes NULL through
+  unencrypted) and mirrors the plaintext NULL semantics — only ``<>``
+  holds — so encrypted and plaintext plans agree.  Strict three-valued
+  equality end to end is a ROADMAP open item;
+* aggregates *skip* NULLs: ``COUNT(attr)`` counts only non-NULL values
+  (``COUNT(*)`` counts rows), and ``SUM``/``AVG``/``MIN``/``MAX`` over an
+  all-NULL group return NULL instead of raising or returning 0;
+* a global aggregate (no grouping attributes) over an empty input yields
+  the standard single row — COUNT 0, every other aggregate NULL — while
+  a grouped aggregate yields zero groups;
+* NULLs stay NULL under encryption: Encrypt/Decrypt pass ``None``
+  through, and encrypted aggregation skips NULLs before its
+  plaintext/ciphertext mix check, so encrypted and plaintext grouping
+  agree on NULL-bearing data.
+
+Engine internals (the hot path)
+-------------------------------
+The executor is built around batched, hash-partitioned operators:
+
+* **Joins** evaluate every equality conjunct with a hash build/probe
+  pass — the hash table is built on the smaller operand — and apply only
+  the true residual conjuncts (compiled once per node) to each matched
+  pair before the output row is materialized.  The seed's ``σ_C(L×R)``
+  nested-loop semantics survive behind ``join_strategy="nested-loop"``
+  as the benchmark baseline.
+* **Predicates** are compiled once per operator
+  (:func:`repro.engine.expressions.compile_predicate`): positions,
+  operators, and constants are resolved at compile time, so per-row work
+  is a plain closure call.
+* **Tables** cache their column→position maps and expose
+  :meth:`~repro.engine.table.Table.bulk_project` /
+  :meth:`~repro.engine.table.Table.bulk_filter` /
+  :meth:`~repro.engine.table.Table.map_columns` batch APIs.
+* **Shared subtrees** hit an LRU result cache on :class:`Executor`
+  keyed by plan-node identity, so re-executed candidate subtrees (the
+  extension/assignment search re-runs them constantly) are free.
 """
 
 from repro.engine.executor import Executor, decrypt_value, encrypt_value
+from repro.engine.expressions import compile_comparison, compile_predicate
 from repro.engine.table import Table
 from repro.engine.values import EncryptedAggregate, EncryptedValue
 
 __all__ = [
     "EncryptedAggregate", "EncryptedValue", "Executor", "Table",
+    "compile_comparison", "compile_predicate",
     "decrypt_value", "encrypt_value",
 ]

@@ -8,11 +8,19 @@ not.  Constants in predicates are encrypted on the fly when the evaluator
 holds the covering key, mirroring §6's dispatch where conditions are
 "formulated on encrypted values" for subjects without plaintext
 visibility.
+
+Predicates are *compiled once per operator*: :func:`compile_predicate`
+specializes each basic condition into a closure with the row positions,
+the comparison operator, and the plaintext/encrypted dispatch strategy
+resolved up front, so the per-row work is a plain function call instead
+of re-dispatching on predicate and operator type for every tuple.
 """
 
 from __future__ import annotations
 
+import operator as _operator
 import re
+from functools import lru_cache
 from typing import Callable
 
 from repro.core.predicates import (
@@ -29,6 +37,32 @@ from repro.exceptions import ExecutionError
 
 Row = tuple
 
+#: Order comparisons short-circuit to False on NULL operands (SQL
+#: three-valued logic collapses UNKNOWN to False in a filter).
+_ORDERED_OPS: dict[ComparisonOp, Callable[[object, object], bool]] = {
+    ComparisonOp.LT: _operator.lt,
+    ComparisonOp.LE: _operator.le,
+    ComparisonOp.GT: _operator.gt,
+    ComparisonOp.GE: _operator.ge,
+}
+
+_EXACT_OPS: dict[ComparisonOp, Callable[[object, object], bool]] = {
+    ComparisonOp.EQ: _operator.eq,
+    ComparisonOp.NEQ: _operator.ne,
+}
+
+
+def _compare_ordered(fn: Callable[[object, object], bool],
+                     left: object, right: object) -> bool:
+    """Ordered comparison with the NULL guard — the single source of
+    truth for ``<``/``<=``/``>``/``>=`` over plaintext values."""
+    if left is None or right is None:
+        return False
+    try:
+        return fn(left, right)
+    except TypeError as error:
+        raise ExecutionError(f"incomparable values: {error}") from None
+
 
 def compare_plain(left: object, op: ComparisonOp, right: object) -> bool:
     """Comparison of two plaintext values."""
@@ -37,6 +71,8 @@ def compare_plain(left: object, op: ComparisonOp, right: object) -> bool:
     if op is ComparisonOp.NEQ:
         return left != right
     if op is ComparisonOp.LIKE:
+        if left is None or right is None:
+            return False  # NULL LIKE p is UNKNOWN
         if not isinstance(left, str) or not isinstance(right, str):
             raise ExecutionError("LIKE requires string operands")
         pattern = "^" + re.escape(right).replace("%", ".*").replace("_", ".") \
@@ -46,19 +82,9 @@ def compare_plain(left: object, op: ComparisonOp, right: object) -> bool:
         if not isinstance(right, (tuple, list, set, frozenset)):
             raise ExecutionError("IN requires a collection right operand")
         return left in right
-    if left is None or right is None:
-        return False
-    try:
-        if op is ComparisonOp.LT:
-            return left < right  # type: ignore[operator]
-        if op is ComparisonOp.LE:
-            return left <= right  # type: ignore[operator]
-        if op is ComparisonOp.GT:
-            return left > right  # type: ignore[operator]
-        if op is ComparisonOp.GE:
-            return left >= right  # type: ignore[operator]
-    except TypeError as error:
-        raise ExecutionError(f"incomparable values: {error}") from None
+    ordered = _ORDERED_OPS.get(op)
+    if ordered is not None:
+        return _compare_ordered(ordered, left, right)
     raise ExecutionError(f"unsupported operator {op}")
 
 
@@ -83,17 +109,47 @@ def compare_encrypted(left: EncryptedValue, op: ComparisonOp,
 
 
 def compare_values(left: object, op: ComparisonOp, right: object) -> bool:
-    """Dispatch between plaintext and encrypted comparison."""
-    left_enc = isinstance(left, EncryptedValue)
-    right_enc = isinstance(right, EncryptedValue)
-    if left_enc and right_enc:
-        return compare_encrypted(left, op, right)
-    if left_enc or right_enc:
+    """Dispatch between plaintext and encrypted comparison.
+
+    Delegates to the memoized compiled comparator so the dispatch and
+    NULL/mix semantics have a single source of truth.
+    """
+    return compile_comparison(op)(left, right)
+
+
+@lru_cache(maxsize=None)
+def compile_comparison(op: ComparisonOp,
+                       ) -> Callable[[object, object], bool]:
+    """Specialize :func:`compare_values` for one operator.
+
+    The returned two-argument comparator still dispatches on the *values*
+    (a column may hold encrypted tokens), but the operator resolution —
+    the long ``if op is ...`` chain — happens once, at compile time.
+    """
+    exact = _EXACT_OPS.get(op)
+    ordered = _ORDERED_OPS.get(op)
+
+    def compare(left: object, right: object) -> bool:
+        if isinstance(left, EncryptedValue):
+            if isinstance(right, EncryptedValue):
+                return compare_encrypted(left, op, right)
+        elif not isinstance(right, EncryptedValue):
+            if exact is not None:
+                return exact(left, right)
+            if ordered is not None:
+                return _compare_ordered(ordered, left, right)
+            return compare_plain(left, op, right)
+        # NULL vs a ciphertext is not a representation mix (Encrypt
+        # passes NULL through); mirror the plaintext NULL semantics so
+        # encrypted and plaintext plans agree: only ≠ holds.
+        if left is None or right is None:
+            return op is ComparisonOp.NEQ
         raise ExecutionError(
             "comparison mixes plaintext and encrypted values; the plan is "
             "missing an encryption or decryption step"
         )
-    return compare_plain(left, op, right)
+
+    return compare
 
 
 class ConstantEncryptor:
@@ -158,17 +214,20 @@ class ConstantEncryptor:
         return value
 
 
-def build_row_predicate(predicate: Predicate, columns: tuple[str, ...],
-                        encryptor: ConstantEncryptor,
-                        local_keystore: KeyStore | None = None,
-                        ) -> Callable[[Row], bool]:
+def compile_predicate(predicate: Predicate, columns: tuple[str, ...],
+                      encryptor: ConstantEncryptor,
+                      local_keystore: KeyStore | None = None,
+                      ) -> Callable[[Row], bool]:
     """Compile ``predicate`` into a row-level boolean function.
 
-    ``encryptor`` encrypts constants (§6: the dispatching user holds the
-    keys and formulates conditions on encrypted values, so it may wrap a
-    richer store than the evaluating subject's own); ``local_keystore``
-    is the evaluating subject's own material, the only thing the note-2
-    decrypt-and-compare fallback may use.
+    Each basic condition becomes one specialized closure (positions,
+    operator, and constant resolved once); the composite predicate is
+    their conjunction.  ``encryptor`` encrypts constants (§6: the
+    dispatching user holds the keys and formulates conditions on
+    encrypted values, so it may wrap a richer store than the evaluating
+    subject's own); ``local_keystore`` is the evaluating subject's own
+    material, the only thing the note-2 decrypt-and-compare fallback may
+    use.
     """
     positions = {c: i for i, c in enumerate(columns)}
     basics = list(predicate.basic_conditions())
@@ -179,68 +238,96 @@ def build_row_predicate(predicate: Predicate, columns: tuple[str, ...],
                     f"predicate references missing column {attribute!r}"
                 )
 
-    keystore = local_keystore if local_keystore is not None         else encryptor.keystore
+    keystore = local_keystore if local_keystore is not None \
+        else encryptor.keystore
+
+    checks = [
+        _compile_basic(basic, positions, encryptor, keystore)
+        for basic in basics
+    ]
+    if len(checks) == 1:
+        return checks[0]
 
     def evaluate(row: Row) -> bool:
-        for basic in basics:
-            if isinstance(basic, AttributeValuePredicate):
-                value = row[positions[basic.attribute]]
-                constant = basic.value
-                if isinstance(value, EncryptedValue) \
-                        and not isinstance(constant, EncryptedValue):
-                    if basic.op is ComparisonOp.IN and isinstance(
-                            constant, (tuple, list, set, frozenset)):
-                        try:
-                            tokens = {
-                                encryptor.match_constant(
-                                    value, ComparisonOp.EQ, item
-                                ).token
-                                for item in constant
-                            }
-                            if value.token not in tokens:
-                                return False
-                            continue
-                        except ExecutionError:
-                            # Note 2 (§5): the key holder evaluates on
-                            # plaintext values instead.
-                            if not compare_plain(
-                                    try_decrypt(keystore, value),
-                                    basic.op, constant):
-                                return False
-                            continue
-                    try:
-                        constant = encryptor.match_constant(
-                            value, basic.op, constant
-                        )
-                        if not compare_values(value, basic.op, constant):
-                            return False
-                        continue
-                    except ExecutionError:
-                        # Note 2 (§5): the key holder evaluates on
-                        # plaintext values instead.
-                        if not compare_plain(try_decrypt(keystore, value),
-                                             basic.op, basic.value):
-                            return False
-                        continue
-                if not compare_values(value, basic.op, constant):
-                    return False
-            elif isinstance(basic, AttributeComparisonPredicate):
-                left = row[positions[basic.left]]
-                right = row[positions[basic.right]]
-                try:
-                    if not compare_values(left, basic.op, right):
-                        return False
-                except ExecutionError:
-                    # Note 2: decrypt locally when the keys are held.
-                    if not compare_plain(try_decrypt(keystore, left),
-                                         basic.op,
-                                         try_decrypt(keystore, right)):
-                        return False
-            else:  # pragma: no cover - conjunctions are flattened
-                raise ExecutionError(f"unsupported predicate {basic!r}")
+        for check in checks:
+            if not check(row):
+                return False
         return True
 
     return evaluate
+
+
+def _compile_basic(basic: Predicate, positions: dict[str, int],
+                   encryptor: ConstantEncryptor,
+                   keystore: KeyStore | None) -> Callable[[Row], bool]:
+    """One basic condition → one specialized row closure."""
+    if isinstance(basic, AttributeValuePredicate):
+        return _compile_value_check(basic, positions[basic.attribute],
+                                    encryptor, keystore)
+    if isinstance(basic, AttributeComparisonPredicate):
+        return _compile_attribute_check(basic, positions[basic.left],
+                                        positions[basic.right], keystore)
+    raise ExecutionError(f"unsupported predicate {basic!r}")
+
+
+def _compile_value_check(basic: AttributeValuePredicate, position: int,
+                         encryptor: ConstantEncryptor,
+                         keystore: KeyStore | None) -> Callable[[Row], bool]:
+    op = basic.op
+    constant = basic.value
+    comparator = compile_comparison(op)
+    constant_encrypted = isinstance(constant, EncryptedValue)
+    in_collection = (op is ComparisonOp.IN
+                     and isinstance(constant,
+                                    (tuple, list, set, frozenset)))
+
+    def check(row: Row) -> bool:
+        value = row[position]
+        if isinstance(value, EncryptedValue) and not constant_encrypted:
+            if in_collection:
+                try:
+                    tokens = {
+                        encryptor.match_constant(
+                            value, ComparisonOp.EQ, item
+                        ).token
+                        for item in constant  # type: ignore[union-attr]
+                    }
+                    return value.token in tokens
+                except ExecutionError:
+                    # Note 2 (§5): the key holder evaluates on plaintext
+                    # values instead.
+                    return compare_plain(try_decrypt(keystore, value),
+                                         op, constant)
+            try:
+                matched = encryptor.match_constant(value, op, constant)
+                return comparator(value, matched)
+            except ExecutionError:
+                # Note 2 (§5): decrypt locally when the keys are held.
+                return compare_plain(try_decrypt(keystore, value),
+                                     op, constant)
+        return comparator(value, constant)
+
+    return check
+
+
+def _compile_attribute_check(basic: AttributeComparisonPredicate,
+                             left_position: int, right_position: int,
+                             keystore: KeyStore | None,
+                             ) -> Callable[[Row], bool]:
+    op = basic.op
+    comparator = compile_comparison(op)
+
+    def check(row: Row) -> bool:
+        left = row[left_position]
+        right = row[right_position]
+        try:
+            return comparator(left, right)
+        except ExecutionError:
+            # Note 2: decrypt locally when the keys are held.
+            return compare_plain(try_decrypt(keystore, left), op,
+                                 try_decrypt(keystore, right))
+
+    return check
 
 
 def _freeze(value: object) -> object:

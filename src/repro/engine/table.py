@@ -4,10 +4,16 @@ A :class:`Table` is an ordered list of equally shaped tuples with named
 columns — the runtime counterpart of the model-level
 :class:`repro.core.schema.Relation`.  Tables are cheap value objects: the
 executor produces a new table per plan node.
+
+The engine hot path works in *batches*: a table caches the column→index
+map and per-column-list position tuples, and exposes
+:meth:`bulk_project` / :meth:`bulk_filter` / :meth:`map_columns` so
+operators resolve positions once per node instead of once per row.
 """
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.exceptions import ExecutionError
@@ -25,7 +31,7 @@ class Table:
     2
     """
 
-    __slots__ = ("name", "columns", "rows", "_index")
+    __slots__ = ("name", "columns", "rows", "_index", "_positions_cache")
 
     def __init__(self, name: str, columns: Sequence[str],
                  rows: Iterable[Sequence[object]]) -> None:
@@ -34,6 +40,7 @@ class Table:
         if len(set(self.columns)) != len(self.columns):
             raise ExecutionError(f"duplicate columns in table {name}")
         self._index = {c: i for i, c in enumerate(self.columns)}
+        self._positions_cache: dict[tuple[str, ...], tuple[int, ...]] = {}
         materialized = []
         width = len(self.columns)
         for row in rows:
@@ -56,6 +63,26 @@ class Table:
         return cls(name, columns,
                    [tuple(r[c] for c in columns) for r in records])
 
+    @classmethod
+    def _from_trusted(cls, name: str, columns: tuple[str, ...],
+                      rows: list[tuple[object, ...]]) -> "Table":
+        """Internal fast constructor: ``rows`` are already shaped tuples.
+
+        Skips the per-row width validation of ``__init__`` — only for
+        rows the engine itself produced from an already valid table.
+        Column uniqueness is still checked (joins/products of operands
+        with clashing names must fail loudly, not shadow a column).
+        """
+        table = cls.__new__(cls)
+        table.name = name
+        table.columns = columns
+        table._index = {c: i for i, c in enumerate(columns)}
+        if len(table._index) != len(columns):
+            raise ExecutionError(f"duplicate columns in table {name}")
+        table._positions_cache = {}
+        table.rows = rows
+        return table
+
     def empty_like(self) -> "Table":
         """An empty table with the same shape."""
         return Table(self.name, self.columns, [])
@@ -71,6 +98,19 @@ class Table:
             raise ExecutionError(
                 f"table {self.name} has no column {column!r}"
             ) from None
+
+    def positions(self, columns: Sequence[str]) -> tuple[int, ...]:
+        """Row-tuple indices of ``columns``, cached per column list.
+
+        Operators resolve positions once per node through this method and
+        then index rows directly, instead of re-deriving the map per row.
+        """
+        key = tuple(columns)
+        cached = self._positions_cache.get(key)
+        if cached is None:
+            cached = tuple(self.column_position(c) for c in key)
+            self._positions_cache[key] = cached
+        return cached
 
     def column_values(self, column: str) -> list[object]:
         """All values of one column, in row order."""
@@ -94,41 +134,90 @@ class Table:
     def project(self, columns: Sequence[str],
                 name: str | None = None) -> "Table":
         """Keep only ``columns`` (in the given order), dropping duplicates."""
-        positions = [self.column_position(c) for c in columns]
-        seen: set[tuple[object, ...]] = set()
-        rows: list[tuple[object, ...]] = []
-        hashable = True
-        for row in self.rows:
-            projected = tuple(row[p] for p in positions)
-            if hashable:
-                try:
-                    if projected in seen:
-                        continue
-                    seen.add(projected)
-                except TypeError:
-                    hashable = False  # unhashable values: keep duplicates
-            rows.append(projected)
-        return Table(name or self.name, tuple(columns), rows)
+        return self.bulk_project(columns, name=name, dedupe=True)
+
+    def bulk_project(self, columns: Sequence[str], name: str | None = None,
+                     dedupe: bool = True) -> "Table":
+        """Batch projection: one position lookup, then a tight row loop.
+
+        With ``dedupe`` (relational semantics) duplicate result rows are
+        dropped; rows with unhashable values are kept from the first
+        offender onward.  Without it the row count is preserved.
+        """
+        positions = self.positions(columns)
+        if not positions:
+            projected: list[tuple[object, ...]] = [() for _ in self.rows]
+        elif len(positions) == 1:
+            p = positions[0]
+            projected = [(row[p],) for row in self.rows]
+        else:
+            getter = itemgetter(*positions)
+            projected = [getter(row) for row in self.rows]
+        if dedupe:
+            seen: set[tuple[object, ...]] = set()
+            rows: list[tuple[object, ...]] = []
+            hashable = True
+            for row in projected:
+                if hashable:
+                    try:
+                        if row in seen:
+                            continue
+                        seen.add(row)
+                    except TypeError:
+                        hashable = False  # unhashable values: keep duplicates
+                rows.append(row)
+            projected = rows
+        return Table._from_trusted(name or self.name, tuple(columns),
+                                   projected)
 
     def filter(self, keep: Callable[[tuple[object, ...]], bool],
                name: str | None = None) -> "Table":
         """Rows satisfying ``keep``."""
-        return Table(name or self.name, self.columns,
-                     [row for row in self.rows if keep(row)])
+        return self.bulk_filter(keep, name=name)
+
+    def bulk_filter(self, keep: Callable[[tuple[object, ...]], bool],
+                    name: str | None = None) -> "Table":
+        """Batch filter with a pre-compiled row predicate.
+
+        ``keep`` is expected to be compiled once per operator (see
+        :func:`repro.engine.expressions.compile_predicate`), so this is a
+        single pass with no per-row dispatch beyond the call itself.
+        """
+        return Table._from_trusted(
+            name or self.name, self.columns,
+            [row for row in self.rows if keep(row)],
+        )
 
     def map_column(self, column: str,
                    transform: Callable[[object], object]) -> "Table":
         """Apply ``transform`` to one column."""
-        position = self.column_position(column)
-        rows = [
-            row[:position] + (transform(row[position]),) + row[position + 1:]
-            for row in self.rows
-        ]
-        return Table(self.name, self.columns, rows)
+        return self.map_columns({column: transform})
+
+    def map_columns(self, transforms: Mapping[str, Callable[[object], object]],
+                    ) -> "Table":
+        """Apply several per-column transforms in one pass over the rows."""
+        if not transforms:
+            return self
+        items = [(self.column_position(c), f) for c, f in transforms.items()]
+        if len(items) == 1:
+            position, transform = items[0]
+            rows = [
+                row[:position] + (transform(row[position]),)
+                + row[position + 1:]
+                for row in self.rows
+            ]
+        else:
+            rows = []
+            for row in self.rows:
+                cells = list(row)
+                for position, transform in items:
+                    cells[position] = transform(cells[position])
+                rows.append(tuple(cells))
+        return Table._from_trusted(self.name, self.columns, rows)
 
     def rename(self, name: str) -> "Table":
-        """The same table under a new name."""
-        return Table(name, self.columns, self.rows)
+        """The same content under a new name (rows list is copied)."""
+        return Table._from_trusted(name, self.columns, list(self.rows))
 
     # ------------------------------------------------------------------
     # Comparison helpers (tests)

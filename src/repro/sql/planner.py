@@ -260,6 +260,14 @@ class _Planner:
             ]
             residual = [p for p in on_predicates
                         if not isinstance(p, AttributeComparisonPredicate)]
+            # Cosmetic canonicalization only: equality conjuncts first
+            # (stable, in source order) so labels and dispatched SQL read
+            # "hash keys, then residuals".  Execution does not depend on
+            # this — Join.partition_condition classifies conjuncts
+            # wherever they appear.
+            comparison_predicates.sort(
+                key=lambda p: p.op is not ComparisonOp.EQ
+            )
             if comparison_predicates:
                 current = Join(current, right,
                                Conjunction(comparison_predicates))

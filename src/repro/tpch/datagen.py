@@ -77,8 +77,26 @@ class TpchData:
         return f"TpchData(scale={self.scale}; {sizes})"
 
 
-def generate(scale: float = 0.001, seed: int = 20170801) -> TpchData:
+#: Non-key measure columns that ``null_rate`` may blank out — keys and
+#: the columns queries group on stay NOT NULL, like real TPC-H.
+NULLABLE_COLUMNS: dict[str, tuple[str, ...]] = {
+    "supplier": ("s_acctbal",),
+    "customer": ("c_acctbal",),
+    "part": ("p_retailprice",),
+    "partsupp": ("ps_supplycost",),
+    "orders": ("o_totalprice",),
+    "lineitem": ("l_discount", "l_tax"),
+}
+
+
+def generate(scale: float = 0.001, seed: int = 20170801,
+             null_rate: float = 0.0) -> TpchData:
     """Generate the TPC-H database at scale factor ``scale``.
+
+    ``null_rate`` (0.0–1.0) replaces that fraction of the
+    :data:`NULLABLE_COLUMNS` measure values with SQL NULL (``None``) —
+    an opt-in stressor for the engine's NULL-handling paths; the default
+    keeps the classic all-populated database.
 
     Examples
     --------
@@ -87,7 +105,13 @@ def generate(scale: float = 0.001, seed: int = 20170801) -> TpchData:
     5
     >>> len(data.table("lineitem")) >= 1000
     True
+    >>> sparse = generate(scale=0.001, null_rate=0.5)
+    >>> any(v is None for v in sparse.table("orders")
+    ...     .column_values("o_totalprice"))
+    True
     """
+    if not 0.0 <= null_rate <= 1.0:
+        raise ValueError(f"null_rate must be in [0, 1], got {null_rate}")
     rng = random.Random(seed)
     tables: dict[str, Table] = {}
 
@@ -243,7 +267,22 @@ def generate(scale: float = 0.001, seed: int = 20170801) -> TpchData:
         lineitem_rows,
     )
 
+    if null_rate > 0.0:
+        _inject_nulls(tables, null_rate, rng)
+
     return TpchData(tables, scale, seed)
+
+
+def _inject_nulls(tables: dict[str, Table], rate: float,
+                  rng: random.Random) -> None:
+    """Blank out a ``rate`` fraction of the nullable measure columns."""
+    for name, columns in NULLABLE_COLUMNS.items():
+        table = tables[name]
+        transforms = {
+            column: (lambda v, r=rng: None if r.random() < rate else v)
+            for column in columns
+        }
+        tables[name] = table.map_columns(transforms)
 
 
 def _phone(rng: random.Random) -> str:

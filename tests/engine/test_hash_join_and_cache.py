@@ -1,0 +1,305 @@
+"""Hash-partitioned joins, compiled residuals, bulk table APIs, and the
+plan-subtree result cache — the ISSUE-1 hot-path rebuild."""
+
+import random
+
+import pytest
+
+from repro.core.operators import BaseRelationNode, Join, Projection, Selection
+from repro.core.predicates import (
+    AttributeComparisonPredicate,
+    ComparisonOp,
+    Conjunction,
+    equals,
+)
+from repro.core.schema import Relation
+from repro.engine import Executor, Table
+from repro.exceptions import ExecutionError
+
+R = Relation("R", ["a", "b"], cardinality=100)
+S = Relation("S", ["k", "w"], cardinality=100)
+
+
+def random_catalog(seed=1, left_rows=60, right_rows=80):
+    rng = random.Random(seed)
+    left = Table("R", ("a", "b"), [
+        (rng.randrange(10), rng.randrange(100)) for _ in range(left_rows)
+    ])
+    right = Table("S", ("k", "w"), [
+        (rng.randrange(10), rng.randrange(100)) for _ in range(right_rows)
+    ])
+    return {"R": left, "S": right}
+
+
+def join_node(*predicates):
+    return Join(BaseRelationNode(R), BaseRelationNode(S),
+                Conjunction(list(predicates)))
+
+
+def both_strategies(catalog, node):
+    hashed = Executor(catalog).execute(node)
+    reference = Executor(catalog, join_strategy="nested-loop").execute(node)
+    return hashed, reference
+
+
+class TestHashJoinEquivalence:
+    def test_equality_plus_residual(self):
+        node = join_node(
+            AttributeComparisonPredicate("a", ComparisonOp.EQ, "k"),
+            AttributeComparisonPredicate("b", ComparisonOp.LT, "w"),
+        )
+        hashed, reference = both_strategies(random_catalog(), node)
+        assert len(hashed) > 0
+        assert hashed.same_content(reference)
+
+    def test_flipped_equality_still_hash_joins(self):
+        # The conjunct names the right operand's attribute first.
+        node = join_node(
+            AttributeComparisonPredicate("k", ComparisonOp.EQ, "a"),
+            AttributeComparisonPredicate("w", ComparisonOp.GE, "b"),
+        )
+        hashed, reference = both_strategies(random_catalog(2), node)
+        assert hashed.same_content(reference)
+
+    def test_multi_equality_composite_key(self):
+        node = join_node(
+            AttributeComparisonPredicate("a", ComparisonOp.EQ, "k"),
+            AttributeComparisonPredicate("b", ComparisonOp.EQ, "w"),
+        )
+        hashed, reference = both_strategies(
+            random_catalog(3, left_rows=200, right_rows=200), node)
+        assert hashed.same_content(reference)
+
+    def test_pure_theta_join_falls_back(self):
+        node = join_node(
+            AttributeComparisonPredicate("a", ComparisonOp.LT, "k"))
+        hashed, reference = both_strategies(random_catalog(4), node)
+        assert hashed.same_content(reference)
+
+    def test_same_side_residual(self):
+        # a = k is hashable; a < b compares two left-operand attributes.
+        node = join_node(
+            AttributeComparisonPredicate("a", ComparisonOp.EQ, "k"),
+            AttributeComparisonPredicate("a", ComparisonOp.LT, "b"),
+        )
+        hashed, reference = both_strategies(random_catalog(5), node)
+        assert hashed.same_content(reference)
+
+    def test_build_side_selection_is_transparent(self):
+        # Equal results whichever operand is smaller (the hash table is
+        # built on the smaller side).
+        node = join_node(
+            AttributeComparisonPredicate("a", ComparisonOp.EQ, "k"),
+            AttributeComparisonPredicate("b", ComparisonOp.NEQ, "w"),
+        )
+        small_left = random_catalog(6, left_rows=10, right_rows=150)
+        small_right = random_catalog(6, left_rows=150, right_rows=10)
+        for catalog in (small_left, small_right):
+            hashed, reference = both_strategies(catalog, node)
+            assert hashed.same_content(reference)
+
+    def test_null_keys_behave_identically_across_strategies(self):
+        catalog = {
+            "R": Table("R", ("a", "b"), [(None, 1), (1, 2)]),
+            "S": Table("S", ("k", "w"), [(None, 3), (1, 4)]),
+        }
+        node = join_node(
+            AttributeComparisonPredicate("a", ComparisonOp.EQ, "k"))
+        hashed, reference = both_strategies(catalog, node)
+        assert hashed.same_content(reference)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ExecutionError):
+            Executor({}, join_strategy="sort-merge")
+
+    def test_incomparable_key_representations_raise_in_both_strategies(self):
+        # Ciphertexts under different keys (or plaintext vs ciphertext)
+        # can never hash-match; the reference strategy raises, so the
+        # hash path must raise too instead of silently returning [].
+        from repro.core.keys import QueryKey
+        from repro.core.requirements import EncryptionScheme
+        from repro.crypto.keymanager import KeyStore
+        from repro.engine.codec import encrypt_value
+
+        def det_store(names):
+            return KeyStore.generate(
+                [QueryKey(frozenset(names), EncryptionScheme.DETERMINISTIC)])
+
+        k1 = det_store({"a"}).material_for_attribute("a")
+        k2 = det_store({"k"}).material_for_attribute("k")
+        node = join_node(
+            AttributeComparisonPredicate("a", ComparisonOp.EQ, "k"))
+        cross_key = {
+            "R": Table("R", ("a", "b"), [(encrypt_value(k1, 1), 0)]),
+            "S": Table("S", ("k", "w"), [(encrypt_value(k2, 1), 0)]),
+        }
+        plain_vs_enc = {
+            "R": Table("R", ("a", "b"), [(1, 0)]),
+            "S": Table("S", ("k", "w"), [(encrypt_value(k2, 1), 0)]),
+        }
+        for catalog in (cross_key, plain_vs_enc):
+            for strategy in ("hash", "nested-loop"):
+                with pytest.raises(ExecutionError):
+                    Executor(catalog,
+                             join_strategy=strategy).execute(node)
+
+
+class TestSubtreeCache:
+    def test_repeated_execution_hits_cache(self):
+        catalog = random_catalog()
+        node = join_node(
+            AttributeComparisonPredicate("a", ComparisonOp.EQ, "k"))
+        executor = Executor(catalog)
+        first = executor.execute(node)
+        assert executor.cache_hits == 0
+        second = executor.execute(node)
+        assert second is first
+        assert executor.cache_hits == 1
+
+    def test_shared_subtree_reused_across_plans(self):
+        catalog = random_catalog()
+        leaf = BaseRelationNode(R)
+        selection = Selection(
+            leaf, AttributeComparisonPredicate("a", ComparisonOp.LT, "b"))
+        executor = Executor(catalog)
+        subtree_result = executor.execute(selection)
+        projection = Projection(selection, ["a"])
+        executor.execute(projection)
+        # The projection's child came from the cache, not a re-run.
+        assert executor.cache_hits >= 1
+        assert executor._cache[selection] is subtree_result
+
+    def test_cache_disabled(self):
+        catalog = random_catalog()
+        node = BaseRelationNode(R)
+        executor = Executor(catalog, cache_size=0)
+        executor.execute(node)
+        executor.execute(node)
+        assert executor.cache_info() == {
+            "hits": 0, "misses": 0, "size": 0, "capacity": 0,
+        }
+
+    def test_lru_eviction(self):
+        catalog = random_catalog()
+        r_leaf = BaseRelationNode(R)
+        s_leaf = BaseRelationNode(S)
+        executor = Executor(catalog, cache_size=1)
+        executor.execute(r_leaf)
+        executor.execute(s_leaf)  # evicts the R scan
+        executor.execute(r_leaf)
+        assert executor.cache_hits == 0
+        executor.execute(r_leaf)
+        assert executor.cache_hits == 1
+
+    def test_clear_cache(self):
+        catalog = random_catalog()
+        node = BaseRelationNode(R)
+        executor = Executor(catalog)
+        executor.execute(node)
+        executor.clear_cache()
+        assert executor.cache_info()["size"] == 0
+        executor.execute(node)
+        assert executor.cache_hits == 0
+
+    def test_catalog_mutation_invalidates_cache(self):
+        node = BaseRelationNode(R)
+        executor = Executor(random_catalog())
+        first = executor.execute(node)
+        assert len(first) > 0
+        executor.catalog["R"] = Table("R", ("a", "b"), [])
+        empty = executor.execute(node)
+        assert len(empty) == 0
+        assert executor.cache_hits == 0
+
+    def test_catalog_ior_invalidates_cache(self):
+        node = BaseRelationNode(R)
+        executor = Executor(random_catalog())
+        first = executor.execute(node)
+        assert len(first) > 0
+        executor.catalog |= {"R": Table("R", ("a", "b"), [])}
+        assert len(executor.execute(node)) == 0
+
+    def test_catalog_reassignment_invalidates_cache(self):
+        node = BaseRelationNode(R)
+        executor = Executor(random_catalog())
+        executor.execute(node)
+        executor.catalog = {"R": Table("R", ("a", "b"), [(9, 9)])}
+        assert executor.execute(node).rows == [(9, 9)]
+
+    def test_udf_swap_invalidates_cache(self):
+        from repro.core.operators import Udf
+
+        node = Udf(BaseRelationNode(R), ["b"], "b", name="f")
+        executor = Executor(
+            {"R": Table("R", ("a", "b"), [(1, 2)])},
+            udfs={"f": lambda args: args["b"] * 10},
+        )
+        assert executor.execute(node).rows == [(1, 20)]
+        executor.udfs["f"] = lambda args: args["b"] + 100
+        assert executor.execute(node).rows == [(1, 102)]
+
+    def test_strategy_and_keystore_rebind_invalidate_cache(self):
+        node = BaseRelationNode(R)
+        executor = Executor(random_catalog())
+        executor.execute(node)
+        executor.join_strategy = "nested-loop"
+        assert executor.cache_info()["size"] == 0
+        executor.execute(node)
+        executor.keystore = None
+        assert executor.cache_info()["size"] == 0
+
+    def test_keystore_inplace_add_invalidates_cache(self):
+        from repro.core.keys import QueryKey
+        from repro.core.requirements import EncryptionScheme
+        from repro.crypto.keymanager import KeyStore
+
+        node = BaseRelationNode(R)
+        store = KeyStore()
+        executor = Executor(random_catalog(), keystore=store)
+        executor.execute(node)
+        assert executor.cache_info()["size"] == 1
+        donor = KeyStore.generate(
+            [QueryKey(frozenset({"a"}), EncryptionScheme.DETERMINISTIC)])
+        store.add(donor.material_for_attribute("a"))
+        executor.execute(node)
+        assert executor.cache_hits == 0
+
+    def test_setdefault_on_existing_key_keeps_cache(self):
+        catalog = random_catalog()
+        node = BaseRelationNode(R)
+        executor = Executor(catalog)
+        executor.execute(node)
+        executor.catalog.setdefault("R", Table("R", ("a", "b"), []))
+        assert executor.cache_info()["size"] == 1
+        executor.catalog.update({})
+        assert executor.cache_info()["size"] == 1
+
+
+class TestBulkTableApis:
+    T = Table("T", ("a", "b", "c"), [
+        (1, "x", 10.0), (2, "y", 20.0), (1, "x", 30.0),
+    ])
+
+    def test_positions_are_cached(self):
+        first = self.T.positions(["c", "a"])
+        assert first == (2, 0)
+        assert self.T.positions(["c", "a"]) is first
+
+    def test_bulk_project_without_dedupe_preserves_rows(self):
+        out = self.T.bulk_project(["a", "b"], dedupe=False)
+        assert out.rows == [(1, "x"), (2, "y"), (1, "x")]
+
+    def test_bulk_project_dedupes_by_default(self):
+        out = self.T.bulk_project(["a", "b"])
+        assert out.rows == [(1, "x"), (2, "y")]
+
+    def test_bulk_filter_uses_compiled_predicate(self):
+        out = self.T.bulk_filter(lambda row: row[2] > 15.0)
+        assert [row[2] for row in out.rows] == [20.0, 30.0]
+
+    def test_map_columns_single_pass(self):
+        out = self.T.map_columns({"a": lambda v: v * 10,
+                                  "c": lambda v: -v})
+        assert out.rows == [
+            (10, "x", -10.0), (20, "y", -20.0), (10, "x", -30.0),
+        ]
