@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Many-provider assignment planner vs the reference search.
+
+Builds a 32-operation join chain (selection per leaf, left-deep equality
+joins, a SUM group-by on top) over a 64-provider market with mixed
+plaintext/encrypted authorizations, then times the full ``assign``
+pipeline three ways:
+
+* ``search_impl="fast"`` — the decomposed, memoized DP (default path);
+* ``search_impl="reference"`` — the direct per-pair edge-cost DP the
+  fast path was derived from (the pre-refactor code path);
+* the policy-versioned :class:`~repro.core.plancache.AssignmentCache`
+  repeat-query path (same plan, same policy version → full-result hit).
+
+The ISSUE-2 acceptance bars are a ≥10× planner speedup over the
+reference at 64 providers × 32 operations, cost-identical (±0.1%)
+assignments, and a ≥100× cached repeat-query speedup.  ``--quick`` runs
+a smaller smoke configuration with proportionally relaxed bars for CI.
+``--json PATH`` emits the measurements for trend tracking.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_assignment_scalability.py
+    PYTHONPATH=src python benchmarks/bench_assignment_scalability.py \
+        --quick --json BENCH_assignment.json
+
+Exits non-zero when a bar is missed or the implementations disagree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # allow running without PYTHONPATH set
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.assignment import assign
+from repro.core.authorization import ANY, Authorization, Policy
+from repro.core.operators import (
+    Aggregate,
+    AggregateFunction,
+    BaseRelationNode,
+    GroupBy,
+    Join,
+    Selection,
+)
+from repro.core.plan import QueryPlan
+from repro.core.plancache import AssignmentCache
+from repro.core.predicates import (
+    AttributeValuePredicate,
+    ComparisonOp,
+    equals,
+)
+from repro.core.schema import Relation, Schema
+from repro.cost.pricing import PriceList
+
+SPEEDUP_BAR = 10.0
+CACHE_BAR = 100.0
+COST_TOLERANCE = 1e-3
+
+QUICK_SPEEDUP_BAR = 2.0
+QUICK_CACHE_BAR = 20.0
+
+
+def build_scenario(relations: int, providers: int):
+    """A join chain over ``relations`` with a ``providers``-wide market.
+
+    Every provider may see everything encrypted (an ``any`` grant); every
+    third-ish provider additionally gets plaintext on a rotating subset
+    of relations, so candidate sets, sender masks, and opportunistic
+    decryption vary across the market (the diversity the decomposed DP
+    must price correctly).
+    """
+    schema = Schema()
+    policy = Policy(schema)
+    provider_names = [f"P{index:02d}" for index in range(providers)]
+    leaves = []
+    for index in range(relations):
+        relation = schema.add(Relation(
+            f"R{index}", [f"a{index}", f"b{index}"], cardinality=10_000,
+        ))
+        policy.grant(Authorization(
+            relation, relation.attribute_names, (), "U"))
+        policy.grant(Authorization(
+            relation, (), relation.attribute_names, ANY))
+        for position, provider in enumerate(provider_names):
+            if (index + position) % 3 == 0 and position % 2 == 0:
+                policy.grant(Authorization(
+                    relation, relation.attribute_names, (), provider))
+        leaves.append(Selection(
+            BaseRelationNode(relation),
+            AttributeValuePredicate(f"b{index}", ComparisonOp.EQ, index),
+        ))
+    current = leaves[0]
+    for index in range(1, relations):
+        current = Join(current, leaves[index],
+                       equals(f"a{index - 1}", f"a{index}"))
+    current = GroupBy(current, ["a0"], Aggregate(
+        AggregateFunction.SUM, f"b{relations - 1}", alias="total"))
+    plan = QueryPlan(current)
+    subjects = ["U"] + provider_names
+    prices = PriceList.paper_defaults(
+        providers=provider_names, authorities=[], user="U",
+        provider_spread=0.02,
+    )
+    return plan, policy, subjects, prices
+
+
+def timed_assign(repeat: int, **kwargs) -> tuple[float, object]:
+    """Best-of-``repeat`` wall time of one ``assign`` configuration."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = assign(**kwargs)
+        best = min(best, time.perf_counter() - start)
+    assert result is not None
+    return best, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="assignment planner scalability: fast vs reference DP")
+    parser.add_argument("--relations", type=int, default=16,
+                        help="relations in the join chain (default 16 → "
+                             "32 operations)")
+    parser.add_argument("--providers", type=int, default=64,
+                        help="provider subjects (default 64)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing runs per configuration, best taken")
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke configuration for CI")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write measurements to this JSON file")
+    args = parser.parse_args(argv)
+
+    relations = 8 if args.quick else args.relations
+    providers = 32 if args.quick else args.providers
+    speedup_bar = QUICK_SPEEDUP_BAR if args.quick else SPEEDUP_BAR
+    cache_bar = QUICK_CACHE_BAR if args.quick else CACHE_BAR
+
+    plan, policy, subjects, prices = build_scenario(relations, providers)
+    operations = len(plan.operations())
+    print(f"assignment planner: {operations} operations × "
+          f"{providers} providers")
+
+    base = dict(plan=plan, policy=policy, subjects=subjects, prices=prices,
+                user="U")
+    fast_time, fast = timed_assign(args.repeat, **base)
+    print(f"  fast DP (decomposed):     {fast_time * 1000:10.1f} ms")
+    reference_time, reference = timed_assign(
+        max(1, args.repeat - 2), search_impl="reference", **base)
+    print(f"  reference DP (per-pair):  {reference_time * 1000:10.1f} ms")
+
+    drift = abs(fast.cost.total_usd - reference.cost.total_usd) \
+        / max(reference.cost.total_usd, 1e-18)
+    speedup = reference_time / fast_time if fast_time > 0 else float("inf")
+    print(f"  speedup:                  {speedup:10.1f}×  "
+          f"(bar: ≥{speedup_bar:.0f}×)")
+    print(f"  cost drift:               {drift:10.2e}  "
+          f"(bar: ≤{COST_TOLERANCE:.0e})")
+
+    cache = AssignmentCache()
+    cold_time, _ = timed_assign(1, cache=cache, **base)
+    hit_time, cached = timed_assign(max(3, args.repeat), cache=cache, **base)
+    cache_speedup = cold_time / hit_time if hit_time > 0 else float("inf")
+    print(f"  cold (cache miss):        {cold_time * 1000:10.2f} ms")
+    print(f"  repeat (cache hit):       {hit_time * 1000:10.4f} ms  "
+          f"{cache_speedup:.0f}× (bar: ≥{cache_bar:.0f}×)")
+
+    failures = []
+    if drift > COST_TOLERANCE:
+        failures.append(
+            f"fast/reference cost drift {drift:.2e} above "
+            f"{COST_TOLERANCE:.0e}")
+    if cached.cost.total_usd != fast.cost.total_usd:
+        failures.append("cached result cost diverges from the cold run")
+    if speedup < speedup_bar:
+        failures.append(
+            f"planner speedup {speedup:.1f}× below the {speedup_bar:.0f}× "
+            f"bar")
+    if cache_speedup < cache_bar:
+        failures.append(
+            f"cache speedup {cache_speedup:.0f}× below the "
+            f"{cache_bar:.0f}× bar")
+
+    if args.json is not None:
+        args.json.write_text(json.dumps({
+            "providers": providers,
+            "plan_operations": operations,
+            "plan_nodes": len(plan.nodes()),
+            "quick": args.quick,
+            "fast_ms": fast_time * 1000,
+            "reference_ms": reference_time * 1000,
+            "speedup_vs_reference": speedup,
+            "cost_drift": drift,
+            "cache_cold_ms": cold_time * 1000,
+            "cache_hit_ms": hit_time * 1000,
+            "cache_speedup": cache_speedup,
+            "ok": not failures,
+        }, indent=2) + "\n")
+        print(f"  wrote {args.json}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

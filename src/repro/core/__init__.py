@@ -6,6 +6,13 @@ plan operators, candidate computation, minimal plan extension, key
 establishment, and the authorized-visibility checks.
 """
 
+from repro.core.attrsets import (
+    AttributeUniverse,
+    MaskProfile,
+    MaskView,
+    assignee_authorized,
+    relation_authorized,
+)
 from repro.core.authorization import (
     ANY,
     Authorization,
@@ -48,7 +55,8 @@ from repro.core.operators import (
     Selection,
     Udf,
 )
-from repro.core.plan import QueryPlan
+from repro.core.plan import NodeMap, QueryPlan
+from repro.core.plancache import AssignmentCache
 from repro.core.predicates import (
     AttributeComparisonPredicate,
     AttributeValuePredicate,
@@ -88,23 +96,27 @@ from repro.core.visibility import (
 )
 
 __all__ = [
-    "ANY", "Aggregate", "AggregateFunction", "Authorization",
+    "ANY", "Aggregate", "AggregateFunction", "AssignmentCache",
+    "AttributeUniverse", "Authorization",
     "AuthorizationCheck", "AttributeComparisonPredicate",
     "AttributeValuePredicate", "AttributeSpec", "BaseRelationNode",
     "CandidateAssignment", "CartesianProduct", "ComparisonOp",
     "Conjunction", "DATE", "DECIMAL", "Decrypt", "Encrypt",
     "EncryptedCapability", "EncryptionScheme", "EquivalenceClasses",
     "ExtendedPlan", "GroupBy", "INTEGER", "Join", "KeyAssignment",
-    "MinimumViewProfiles", "PlanNode", "Policy", "Predicate",
+    "MaskProfile", "MaskView", "MinimumViewProfiles", "NodeMap",
+    "PlanNode", "Policy", "Predicate",
     "Projection", "QueryKey", "QueryPlan", "Relation", "RelationProfile",
     "Schema", "SchemeCapabilities", "Selection", "Subject", "SubjectKind",
-    "SubjectView", "Udf", "VARCHAR", "authorized_assignees",
+    "SubjectView", "Udf", "VARCHAR", "assignee_authorized",
+    "authorized_assignees",
     "check_assignee", "check_relation", "chosen_schemes",
     "cluster_encrypted_attributes", "compute_candidates", "equals",
     "establish_keys", "extension_encrypted_attributes",
     "infer_plaintext_requirements", "is_authorized_assignee",
     "is_authorized_for_relation", "minimally_extend",
-    "minimum_required_view", "minimum_view_profiles", "require_authorized",
+    "minimum_required_view", "minimum_view_profiles",
+    "relation_authorized", "require_authorized",
     "select_scheme", "user_can_receive_result", "value_equals",
     "verify_assignment",
 ]

@@ -19,20 +19,44 @@ plan.
 
 Alternative strategies (greedy, exhaustive) are provided for the
 ablation benchmarks.
+
+Performance
+-----------
+The DP runs in two implementations selected by ``search_impl``:
+
+* ``"fast"`` (default) — the decomposed, memoized search.  For every
+  plan edge the pairwise ``edge_cost`` is split into per-receiver tables
+  (scheme choice, encryption weights, decrypt baseline) and a per-sender
+  bitmask memo (overlap corrections), so the DP inner loop over
+  (child subject, parent subject) pairs costs a few multiply-adds
+  instead of re-deriving frozenset algebra per pair.  ``node_cost`` and
+  the per-edge tables are shared across the three portfolio passes.
+* ``"reference"`` — the direct per-pair computation the fast path was
+  derived from, kept for the scalability benchmark
+  (``benchmarks/bench_assignment_scalability.py``) and the equivalence
+  property tests.  Both implementations price the same model, so they
+  pick cost-identical assignments.
+
+Repeated queries over a stable policy can additionally pass an
+:class:`~repro.core.plancache.AssignmentCache`, which memoises full
+results keyed by the plan fingerprint and the policy version.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from repro.core.attrsets import AttributeUniverse
 from repro.core.authorization import Policy, Subject, SubjectView
 from repro.core.candidates import (
     CandidateAssignment,
+    MinimumViewProfiles,
     compute_candidates,
     user_can_receive_result,
 )
+from repro.core.plan import NodeMap
+from repro.core.plancache import AssignmentCache, assignment_cache_key
 from repro.core.extension import ExtendedPlan, minimally_extend
 from repro.core.keys import (
     KeyAssignment,
@@ -54,6 +78,7 @@ from repro.cost.estimator import NodeEstimate, PlanEstimator
 from repro.cost.factors import (
     DECRYPT_SECONDS_PER_VALUE,
     ENCRYPT_SECONDS_PER_VALUE,
+    encrypted_width,
 )
 from repro.cost.model import CostBreakdown, CostModel
 from repro.cost.network import NetworkTopology
@@ -65,20 +90,29 @@ _GB = 1e9
 
 @dataclass
 class AssignmentResult:
-    """Everything produced by the assignment pipeline."""
+    """Everything produced by the assignment pipeline.
+
+    ``search_stats`` is populated by the exhaustive strategy (combination
+    counts, pruning, and unauthorized skips); ``None`` otherwise.
+    """
 
     assignment: dict[PlanNode, str]
     extended: ExtendedPlan
     keys: KeyAssignment
     cost: CostBreakdown
     candidates: CandidateAssignment
+    search_stats: dict[str, int] | None = None
 
     def assignee(self, node: PlanNode) -> str:
-        """Chosen subject for an original-plan operation."""
-        for key, subject in self.assignment.items():
-            if key is node:
-                return subject
-        raise UnauthorizedError(f"no assignee recorded for {node.label()}")
+        """Chosen subject for an original-plan operation.
+
+        Plan nodes hash by identity, so this is a live O(1) lookup in
+        the public ``assignment`` dict.
+        """
+        subject = self.assignment.get(node)
+        if subject is None:
+            raise UnauthorizedError(f"no assignee recorded for {node.label()}")
+        return subject
 
     def describe(self) -> str:
         """Assignment summary plus the cost line."""
@@ -97,18 +131,40 @@ def assign(
     requirements: Mapping[PlanNode, frozenset[str]] | None = None,
     capabilities: SchemeCapabilities | None = None,
     strategy: str = "dp",
+    search_impl: str = "fast",
+    cache: AssignmentCache | None = None,
 ) -> AssignmentResult:
     """Run the full §6 pipeline and return the cheapest authorized plan.
+
+    ``search_impl`` selects the DP implementation: ``"fast"`` (decomposed
+    memoized tables, the default) or ``"reference"`` (the direct per-pair
+    computation, kept for benchmarking).  ``cache`` optionally memoises
+    full results across calls: hits require an identical plan structure,
+    the same live policy object at the same
+    :attr:`~repro.core.authorization.Policy.version`, and the same price
+    list/topology objects.  Cached results are shared, not copied.
 
     Raises :class:`NoCandidateError` when some operation has no candidate
     and :class:`UnauthorizedError` when the querying user may not receive
     the query result.
     """
+    if search_impl not in ("fast", "reference"):
+        raise ValueError(f"unknown search_impl {search_impl!r}")
     subject_names = [
         s.name if isinstance(s, Subject) else s for s in subjects
     ]
     if requirements is None:
         requirements = infer_plaintext_requirements(plan, capabilities)
+    cache_key = None
+    if cache is not None:
+        cache_key = assignment_cache_key(
+            plan, policy, subject_names, user, owners,
+            f"{strategy}:{search_impl}", capabilities, requirements,
+        )
+        cache_context = (policy, prices, topology)
+        hit = cache.get(cache_key, cache_context)
+        if hit is not None:
+            return _rebind_result(hit, plan)
     candidates = compute_candidates(plan, policy, subject_names,
                                     requirements)
     candidates.require_nonempty()
@@ -132,6 +188,7 @@ def assign(
         estimator=estimator,
         owners=dict(owners or {}),
         user=user,
+        search_impl=search_impl,
     )
     proposals: list[dict[PlanNode, str]] = []
     if strategy == "dp":
@@ -183,11 +240,71 @@ def assign(
             keys=keys,
             cost=cost,
             candidates=candidates,
+            search_stats=searcher.exhaustive_stats,
         )
         if best is None or cost.total_usd < best.cost.total_usd:
             best = result
     assert best is not None
+    if cache is not None and cache_key is not None:
+        cache.put(cache_key, cache_context, best)
     return best
+
+
+def _rebind_result(result: AssignmentResult,
+                   plan: QueryPlan) -> AssignmentResult:
+    """Re-key a cached result onto a structurally identical plan.
+
+    Cache hits may come from a different (structurally equal) plan
+    object — the multi-tenant repeat-query scenario re-parses the same
+    query into fresh nodes.  The matching fingerprint guarantees the
+    post-order node sequences align one-to-one, so every node-keyed
+    structure (assignment, candidate sets, minimum-view profiles,
+    requirements) is remapped positionally onto the caller's nodes.  The
+    extended plan is self-contained (its nodes are created by the
+    extension, never shared with the input plan) and is reused as-is.
+    """
+    cached_plan = result.candidates.plan
+    if cached_plan.root is plan.root:
+        return result
+    old_nodes = cached_plan.nodes()
+    new_nodes = plan.nodes()
+    assert len(old_nodes) == len(new_nodes), "fingerprint collision"
+    old_min = result.candidates.min_views
+    requirement_map: NodeMap[frozenset[str]] = NodeMap(old_min.requirements)
+    assignment: dict[PlanNode, str] = {}
+    requirements: dict[PlanNode, frozenset[str]] = {}
+    results: dict[int, object] = {}
+    operand_views: dict[int, tuple] = {}
+    candidate_sets: dict[int, frozenset[str]] = {}
+    for old, new in zip(old_nodes, new_nodes):
+        subject = result.assignment.get(old)
+        if subject is not None:
+            assignment[new] = subject
+        needed = requirement_map.get(old)
+        if needed is not None:
+            requirements[new] = needed
+        profile = old_min.results.get(id(old))
+        if profile is not None:
+            results[id(new)] = profile
+        views = old_min.operand_views.get(id(old))
+        if views is not None:
+            operand_views[id(new)] = views
+    for old_op, new_op in zip(cached_plan.operations(), plan.operations()):
+        candidate_sets[id(new_op)] = result.candidates[old_op]
+    min_views = MinimumViewProfiles(
+        plan=plan,
+        requirements=requirements,
+        results=results,
+        operand_views=operand_views,
+    )
+    return AssignmentResult(
+        assignment=assignment,
+        extended=result.extended,
+        keys=result.keys,
+        cost=result.cost,
+        candidates=CandidateAssignment(plan, candidate_sets, min_views),
+        search_stats=result.search_stats,
+    )
 
 
 class _AssignmentSearch:
@@ -198,7 +315,8 @@ class _AssignmentSearch:
                  requirements: Mapping[PlanNode, frozenset[str]],
                  schemes: Mapping[str, EncryptionScheme],
                  prices: PriceList, estimator: PlanEstimator,
-                 owners: dict[str, str], user: str) -> None:
+                 owners: dict[str, str], user: str,
+                 search_impl: str = "fast") -> None:
         self.plan = plan
         self.policy = policy
         self.candidates = candidates
@@ -208,9 +326,19 @@ class _AssignmentSearch:
         self.estimator = estimator
         self.owners = owners
         self.user = user
+        self.search_impl = search_impl
         self.estimates = estimator.estimate(plan)
         self._lineage = derived_lineage(plan)
         self._views: dict[str, SubjectView] = {}
+        self._requirement_map: NodeMap[frozenset[str]] = NodeMap(requirements)
+        # Fast-path state, shared across the three portfolio passes.
+        self.universe = AttributeUniverse()
+        self._subject_masks: dict[str, tuple[int, int, float, float]] = {}
+        self._node_cost_cache: dict[tuple[int, str], float] = {}
+        self._edge_tables: dict[tuple[int, int, str], _EdgeTable] = {}
+        self._delivery_cache: dict[str, float] = {}
+        #: populated by :meth:`exhaustive`.
+        self.exhaustive_stats: dict[str, int] | None = None
 
     # ------------------------------------------------------------------
     # Helpers
@@ -227,10 +355,37 @@ class _AssignmentSearch:
         return self.owners.get(name, f"authority:{name}")
 
     def plaintext_needed(self, node: PlanNode) -> frozenset[str]:
-        for key, value in self.requirements.items():
-            if key is node:
-                return value
-        return frozenset()
+        return self._requirement_map.get(node, frozenset())
+
+    def subject_masks(self, name: str) -> tuple[int, int, float, float]:
+        """(plaintext mask, encrypted mask, cpu $/s, net $/byte) of a subject.
+
+        Synthetic ``authority:`` owners have no policy view and encrypt
+        nothing of their own (mirroring the reference path's ``None``
+        sender view).
+        """
+        data = self._subject_masks.get(name)
+        if data is None:
+            rates = self.prices.rates(name)
+            if name.startswith("authority:"):
+                plain = encrypted = 0
+            else:
+                view = self.view(name)
+                plain = self.universe.mask(view.plaintext)
+                encrypted = self.universe.mask(view.encrypted)
+            data = (plain, encrypted, rates.cpu_usd_per_second,
+                    rates.net_usd_per_gb / _GB)
+            self._subject_masks[name] = data
+        return data
+
+    def edge_table(self, child: PlanNode, parent: PlanNode) -> "_EdgeTable":
+        """The decomposed cost tables of one plan edge (memoized per mode)."""
+        key = (id(child), id(parent), self.edge_scheme_mode)
+        table = self._edge_tables.get(key)
+        if table is None:
+            table = _EdgeTable(self, child, parent, self.edge_scheme_mode)
+            self._edge_tables[key] = table
+        return table
 
     #: edge-scheme estimation mode: "optimistic" charges randomized
     #: encryption for pass-through attributes (underestimates deep
@@ -317,7 +472,16 @@ class _AssignmentSearch:
         return cost
 
     def node_cost(self, node: PlanNode, subject: str) -> float:
-        """CPU + IO cost of executing ``node`` at ``subject``."""
+        """CPU + IO cost of executing ``node`` at ``subject`` (memoized)."""
+        key = (id(node), subject)
+        cost = self._node_cost_cache.get(key)
+        if cost is None:
+            cost = self._node_cost_raw(node, subject)
+            self._node_cost_cache[key] = cost
+        return cost
+
+    def _node_cost_raw(self, node: PlanNode, subject: str) -> float:
+        """Uncached :meth:`node_cost` (the reference path's code)."""
         estimate = self.estimates[id(node)]
         rates = self.prices.rates(subject)
         return (estimate.cpu_seconds * rates.cpu_usd_per_second
@@ -386,6 +550,14 @@ class _AssignmentSearch:
         cost += dec_seconds * self.prices.rates(self.user).cpu_usd_per_second
         return cost
 
+    def _delivery_cost_cached(self, root_subject: str) -> float:
+        """Memoized :meth:`delivery_cost` (mode-independent)."""
+        cost = self._delivery_cache.get(root_subject)
+        if cost is None:
+            cost = self.delivery_cost(root_subject)
+            self._delivery_cache[root_subject] = cost
+        return cost
+
     # ------------------------------------------------------------------
     # Strategies
     # ------------------------------------------------------------------
@@ -396,7 +568,22 @@ class _AssignmentSearch:
         ``restrict_to`` limits the considered subjects (used by the
         portfolio to evaluate the no-provider baseline).  Raises
         :class:`NoCandidateError` when the restriction empties some
-        operation's candidate set.
+        operation's candidate set.  Dispatches on ``search_impl``; both
+        implementations price the same model and pick cost-identical
+        assignments.
+        """
+        if self.search_impl == "reference":
+            return self._dp_reference(restrict_to)
+        return self._dp_fast(restrict_to)
+
+    def _dp_fast(self, restrict_to: frozenset[str] | None = None,
+                 ) -> dict[PlanNode, str]:
+        """Decomposed, memoized DP: edge costs come from per-edge tables.
+
+        The inner (child subject, parent subject) loop is inlined: per
+        edge, the sender rows (name, accumulated cost, encrypted mask,
+        rates) are materialised once and each pair evaluation is a
+        table/memo lookup plus three multiply-adds.
         """
         table: dict[int, dict[str, float]] = {}
         choice: dict[int, dict[str, dict[int, str]]] = {}
@@ -412,14 +599,108 @@ class _AssignmentSearch:
                         f"restriction leaves no candidate for {node.label()}",
                         node=node,
                     )
-            for subject in allowed:
+            # Per child: the edge tables plus one row per sender —
+            # (name, cost so far, encrypted mask, cpu $/s, net $/byte).
+            children_info = []
+            for child in node.children:
+                edge = self.edge_table(child, node)
+                if isinstance(child, BaseRelationNode):
+                    owner = self.owner_of(child)
+                    _p, enc_mask, cpu, net = self.subject_masks(owner)
+                    rows = [(owner, self.node_cost(child, owner),
+                             enc_mask, cpu, net)]
+                    children_info.append((child, edge, True, rows))
+                else:
+                    rows = [
+                        (sender, cost) + self.subject_masks(sender)[1:]
+                        for sender, cost in table[id(child)].items()
+                    ]
+                    children_info.append((child, edge, False, rows))
+            for subject in sorted(allowed):
                 total = self.node_cost(node, subject)
+                picks: dict[int, str] = {}
+                feasible = True
+                for child, edge, is_leaf, rows in children_info:
+                    entry = edge.receiver(subject)
+                    memo = entry.memo
+                    memo_parts = edge.memo_parts
+                    needs_volume = edge.base_bytes + entry.vol_needs_bytes
+                    total_enc = entry.total_enc_seconds
+                    receiver_dec = entry.cpu_rate
+                    dec_base = entry.dec_base_seconds
+                    visible = edge.visible_mask
+                    best_cost = None
+                    best_subject = None
+                    for sender, cost, enc_mask, cpu, net in rows:
+                        mask = enc_mask & visible
+                        parts = memo.get(mask)
+                        if parts is None:
+                            parts = memo_parts(entry, mask)
+                        cost += cpu * (total_enc - parts[0])
+                        if sender != subject:
+                            cost += (needs_volume + parts[1]) * net
+                        cost += receiver_dec * (dec_base + parts[2])
+                        if best_cost is None or cost < best_cost:
+                            best_cost = cost
+                            best_subject = sender
+                    if best_subject is None:
+                        feasible = False
+                        break
+                    total += best_cost
+                    if not is_leaf:
+                        picks[id(child)] = best_subject
+                if feasible:
+                    table[id(node)][subject] = total
+                    choice[id(node)][subject] = picks
+
+        root = self.plan.root
+        root_costs = {
+            subject: cost + self._delivery_cost_cached(subject)
+            for subject, cost in table[id(root)].items()
+        }
+        if not root_costs:
+            raise NoCandidateError(
+                "no feasible assignment for the plan root", node=root
+            )
+        best_root = min(root_costs, key=root_costs.__getitem__)
+
+        assignment: dict[PlanNode, str] = {}
+
+        def backtrack(node: PlanNode, subject: str) -> None:
+            assignment[node] = subject
+            for child in node.children:
+                if isinstance(child, BaseRelationNode):
+                    continue
+                backtrack(child, choice[id(node)][subject][id(child)])
+
+        backtrack(root, best_root)
+        return assignment
+
+    def _dp_reference(self, restrict_to: frozenset[str] | None = None,
+                      ) -> dict[PlanNode, str]:
+        """The direct per-pair DP (pre-decomposition code path)."""
+        table: dict[int, dict[str, float]] = {}
+        choice: dict[int, dict[str, dict[int, str]]] = {}
+
+        for node in self.plan.operations():
+            table[id(node)] = {}
+            choice[id(node)] = {}
+            allowed = self.candidates[node]
+            if restrict_to is not None:
+                allowed = allowed & restrict_to
+                if not allowed:
+                    raise NoCandidateError(
+                        f"restriction leaves no candidate for {node.label()}",
+                        node=node,
+                    )
+            for subject in allowed:
+                total = self._node_cost_raw(node, subject)
                 picks: dict[int, str] = {}
                 feasible = True
                 for child in node.children:
                     if isinstance(child, BaseRelationNode):
                         owner = self.owner_of(child)
-                        total += self.node_cost(child, owner)
+                        total += self._node_cost_raw(child, owner)
                         total += self.edge_cost(child, owner, node, subject)
                         continue
                     best_cost = None
@@ -478,7 +759,20 @@ class _AssignmentSearch:
         return assignment
 
     def exhaustive(self, model: CostModel) -> dict[PlanNode, str]:
-        """Exact search: materialize every assignment (small plans only)."""
+        """Exact search: materialize assignments, pruning by lower bound.
+
+        A depth-first enumeration over the candidate domains.  Every
+        node's exact extended-plan cost is bounded below by its CPU
+        charge at its assignee (encryption only *adds* operations and
+        never shrinks rows), so a partial assignment whose accumulated
+        CPU bound plus the best-case bound of the remaining operations
+        already meets the incumbent cannot improve on it and its whole
+        subtree is pruned.  Combinations whose minimal extension raises
+        :class:`UnauthorizedError` (assignments outside Λ's reachable
+        extensions) are counted, not silently dropped; the counts are
+        reported in :attr:`exhaustive_stats` and in the
+        :class:`NoCandidateError` raised when nothing is feasible.
+        """
         operations = list(self.plan.operations())
         domains = [sorted(self.candidates[n]) for n in operations]
         combination_count = 1
@@ -489,24 +783,270 @@ class _AssignmentSearch:
                 f"exhaustive search infeasible: {combination_count} "
                 f"assignments"
             )
-        best_cost = None
-        best_assignment = None
-        for combo in itertools.product(*domains):
-            assignment = dict(zip(operations, combo))
-            try:
-                extended = minimally_extend(
-                    self.plan, self.policy, assignment,
-                    requirements=self.requirements, owners=self.owners,
-                    deliver_to=self.user,
-                )
-            except UnauthorizedError:
-                continue
-            cost = model.extended_plan_cost(
-                extended, self.user, self.owners
-            ).total_usd
-            if best_cost is None or cost < best_cost:
-                best_cost = cost
-                best_assignment = assignment
+        stats = {
+            "combinations": combination_count,
+            "evaluated": 0,
+            "pruned": 0,
+            "skipped_unauthorized": 0,
+        }
+        self.exhaustive_stats = stats
+
+        def cpu_bound(node: PlanNode, subject: str) -> float:
+            return (self.estimates[id(node)].cpu_seconds
+                    * self.prices.rates(subject).cpu_usd_per_second)
+
+        # CPU charged to the data authorities is combination-independent.
+        leaf_floor = sum(
+            cpu_bound(leaf, self.owner_of(leaf))
+            for leaf in self.plan.leaves()
+        )
+        bounds = [
+            {subject: cpu_bound(node, subject) for subject in domain}
+            for node, domain in zip(operations, domains)
+        ]
+        suffix_floor = [0.0] * (len(operations) + 1)
+        for index in range(len(operations) - 1, -1, -1):
+            suffix_floor[index] = (suffix_floor[index + 1]
+                                   + min(bounds[index].values()))
+        subtree_size = [1] * (len(operations) + 1)
+        for index in range(len(operations) - 1, -1, -1):
+            subtree_size[index] = (subtree_size[index + 1]
+                                   * len(domains[index]))
+
+        best_cost: float | None = None
+        best_assignment: dict[PlanNode, str] | None = None
+        chosen: list[str] = []
+
+        def visit(index: int, floor: float) -> None:
+            nonlocal best_cost, best_assignment
+            if best_cost is not None \
+                    and floor + suffix_floor[index] >= best_cost:
+                stats["pruned"] += subtree_size[index]
+                return
+            if index == len(operations):
+                assignment = dict(zip(operations, chosen))
+                try:
+                    extended = minimally_extend(
+                        self.plan, self.policy, assignment,
+                        requirements=self.requirements, owners=self.owners,
+                        deliver_to=self.user,
+                    )
+                except UnauthorizedError:
+                    stats["skipped_unauthorized"] += 1
+                    return
+                stats["evaluated"] += 1
+                cost = model.extended_plan_cost(
+                    extended, self.user, self.owners
+                ).total_usd
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best_assignment = assignment
+                return
+            for subject in domains[index]:
+                chosen.append(subject)
+                visit(index + 1, floor + bounds[index][subject])
+                chosen.pop()
+
+        visit(0, leaf_floor)
         if best_assignment is None:
-            raise NoCandidateError("no authorized assignment exists")
+            raise NoCandidateError(
+                "no authorized assignment exists "
+                f"({stats['skipped_unauthorized']} combinations skipped as "
+                f"unauthorized, {stats['pruned']} pruned)"
+            )
         return best_assignment
+
+
+class _ReceiverEntry:
+    """Per-(edge, receiver) precomputation of the decomposed edge cost."""
+
+    __slots__ = ("needs_mask", "enc_w", "delta_w", "total_enc_seconds",
+                 "vol_needs_bytes", "dec_base_seconds", "cpu_rate", "memo")
+
+    def __init__(self, needs_mask: int, enc_w: dict[int, float],
+                 delta_w: dict[int, float], total_enc_seconds: float,
+                 vol_needs_bytes: float, dec_base_seconds: float,
+                 cpu_rate: float) -> None:
+        self.needs_mask = needs_mask
+        self.enc_w = enc_w
+        self.delta_w = delta_w
+        self.total_enc_seconds = total_enc_seconds
+        self.vol_needs_bytes = vol_needs_bytes
+        self.dec_base_seconds = dec_base_seconds
+        self.cpu_rate = cpu_rate
+        #: sender-encrypted-mask → (enc overlap s, extra volume B, extra dec s)
+        self.memo: dict[int, tuple[float, float, float]] = {}
+
+
+class _EdgeTable:
+    """Decomposed :meth:`_AssignmentSearch.edge_cost` for one plan edge.
+
+    For a fixed (child, parent) edge the pairwise edge cost factors into
+
+    * a **receiver part** — which visible attributes the receiver may
+      only see encrypted (``needs``), the scheme each attribute travels
+      under, the encryption seconds if the sender held everything
+      plaintext, the ciphertext volume inflation of ``needs``, and the
+      receiver-side decryption of ``Ap ∩ needs``;
+    * a **sender part** — the attributes the sender already holds
+      encrypted, as one bitmask ``m``, plus its CPU/egress rates;
+    * a **coupling correction** depending only on ``(receiver, m)`` —
+      encryption work saved on ``needs ∧ m``, extra ciphertext volume and
+      extra ``Ap`` decryption from ``m ∖ needs`` — memoized per distinct
+      sender mask, of which there are few (providers share policies).
+
+    ``cost(sender, receiver)`` is then three multiply-adds, reproducing
+    the reference formula exactly (up to float reassociation).
+    """
+
+    __slots__ = ("search", "parent", "mode", "rows", "bits", "visible_mask",
+                 "demand_bits", "none_mask", "base_bytes", "ap_mask", "dec_w",
+                 "enc_rand", "enc_demand", "delta_rand", "delta_demand",
+                 "receivers")
+
+    def __init__(self, search: "_AssignmentSearch", child: PlanNode,
+                 parent: PlanNode, mode: str) -> None:
+        self.search = search
+        self.parent = parent
+        self.mode = mode
+        estimate = search.estimates[id(child)]
+        universe = search.universe
+        rows = estimate.rows
+        self.rows = rows
+        self.bits = tuple(universe.bit(a) for a in estimate.plain_width)
+        self.visible_mask = universe.mask(estimate.plain_width)
+        operand_mask = universe.mask(parent.operand_attributes())
+        self.none_mask = universe.mask(
+            a for a in estimate.plain_width if estimate.scheme.get(a) is None
+        )
+        self.base_bytes = rows * sum(
+            estimate.width_of(a) for a in estimate.plain_width
+        )
+        self.ap_mask = (universe.mask(search.plaintext_needed(parent))
+                        & self.visible_mask)
+        # An attribute travels under one of two schemes: randomized, or
+        # the scheme its capability demands (mode/operand dependent) —
+        # precompute both weight tables so receiver entries are lookups.
+        randomized = EncryptionScheme.RANDOMIZED
+        enc_rand = rows * ENCRYPT_SECONDS_PER_VALUE[randomized]
+        self.enc_rand = enc_rand
+        conservative = mode == "conservative"
+        demand_bits = 0
+        enc_demand: dict[int, float] = {}
+        delta_rand: dict[int, float] = {}
+        delta_demand: dict[int, float] = {}
+        dec_w: dict[int, float] = {}
+        for attribute, bit in zip(estimate.plain_width, self.bits):
+            demand_scheme = search.schemes.get(
+                attribute, EncryptionScheme.DETERMINISTIC)
+            if conservative or bit & operand_mask:
+                demand_bits |= bit
+                enc_demand[bit] = rows * ENCRYPT_SECONDS_PER_VALUE[
+                    demand_scheme]
+            if bit & self.none_mask:
+                plain_w = estimate.plain_width[attribute]
+                delta_rand[bit] = rows * (
+                    encrypted_width(randomized, plain_w) - plain_w
+                )
+                delta_demand[bit] = rows * (
+                    encrypted_width(demand_scheme, plain_w) - plain_w
+                )
+            if bit & self.ap_mask:
+                dec_w[bit] = rows * DECRYPT_SECONDS_PER_VALUE[demand_scheme]
+        self.demand_bits = demand_bits
+        self.enc_demand = enc_demand
+        self.delta_rand = delta_rand
+        self.delta_demand = delta_demand
+        self.dec_w = dec_w
+        self.receivers: dict[str, _ReceiverEntry] = {}
+
+    def receiver(self, name: str) -> _ReceiverEntry:
+        """The receiver part for one subject (built once per edge)."""
+        entry = self.receivers.get(name)
+        if entry is None:
+            plain_mask, enc_mask, cpu_rate, _net = \
+                self.search.subject_masks(name)
+            needs = enc_mask & self.visible_mask
+            # _edge_scheme per attribute, mask-backed: attributes the
+            # receiver may see plaintext travel randomized; otherwise the
+            # demand scheme applies on demand_bits, randomized elsewhere.
+            demand = self.demand_bits & ~plain_mask
+            enc_w: dict[int, float] = {}
+            delta_w: dict[int, float] = {}
+            total_enc = 0.0
+            vol_needs = 0.0
+            dec_base = 0.0
+            enc_rand = self.enc_rand
+            enc_demand = self.enc_demand
+            delta_rand = self.delta_rand
+            delta_demand = self.delta_demand
+            none_mask = self.none_mask
+            ap_mask = self.ap_mask
+            dec_w = self.dec_w
+            for bit in self.bits:
+                demanded = bit & demand
+                if bit & needs:
+                    weight = enc_demand[bit] if demanded else enc_rand
+                    enc_w[bit] = weight
+                    total_enc += weight
+                if bit & none_mask:
+                    delta = (delta_demand[bit] if demanded
+                             else delta_rand[bit])
+                    delta_w[bit] = delta
+                    if bit & needs:
+                        vol_needs += delta
+                if bit & needs and bit & ap_mask:
+                    dec_base += dec_w[bit]
+            entry = _ReceiverEntry(needs, enc_w, delta_w, total_enc,
+                                   vol_needs, dec_base, cpu_rate)
+            self.receivers[name] = entry
+        return entry
+
+    def memo_parts(self, entry: _ReceiverEntry,
+                   mask: int) -> tuple[float, float, float]:
+        """Coupling corrections for one sender-encrypted ``mask``.
+
+        Returns (encryption seconds already covered by the sender, extra
+        ciphertext volume in bytes from sender-encrypted pass-through
+        attributes, extra ``Ap`` decryption seconds at the receiver);
+        memoized on the entry per distinct mask.
+        """
+        enc_overlap = 0.0
+        overlap = mask & entry.needs_mask
+        while overlap:
+            low = overlap & -overlap
+            overlap ^= low
+            enc_overlap += entry.enc_w[low]
+        extra = mask & ~entry.needs_mask
+        extra_vol = 0.0
+        vol_bits = extra & self.none_mask
+        while vol_bits:
+            low = vol_bits & -vol_bits
+            vol_bits ^= low
+            extra_vol += entry.delta_w[low]
+        dec_extra = 0.0
+        dec_bits = extra & self.ap_mask
+        while dec_bits:
+            low = dec_bits & -dec_bits
+            dec_bits ^= low
+            dec_extra += self.dec_w[low]
+        parts = (enc_overlap, extra_vol, dec_extra)
+        entry.memo[mask] = parts
+        return parts
+
+    def cost(self, sender: str, receiver: str) -> float:
+        """Exact edge cost of handing the child's output sender→receiver."""
+        _plain, sender_enc, sender_cpu, sender_net = \
+            self.search.subject_masks(sender)
+        entry = self.receiver(receiver)
+        mask = sender_enc & self.visible_mask
+        parts = entry.memo.get(mask)
+        if parts is None:
+            parts = self.memo_parts(entry, mask)
+        enc_overlap, extra_vol, dec_extra = parts
+        cost = sender_cpu * (entry.total_enc_seconds - enc_overlap)
+        if sender != receiver:
+            cost += ((self.base_bytes + entry.vol_needs_bytes + extra_vol)
+                     * sender_net)
+        cost += entry.cpu_rate * (entry.dec_base_seconds + dec_extra)
+        return cost

@@ -16,10 +16,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 from repro.core.schema import Relation, Schema
 from repro.exceptions import AuthorizationError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.attrsets import MaskView
 
 #: Pseudo-subject matching every subject without an explicit authorization.
 ANY = "any"
@@ -128,6 +131,15 @@ class SubjectView:
         """Whether the subject may see ``attribute`` at least encrypted."""
         return attribute in self.plaintext or attribute in self.encrypted
 
+    def masks(self, universe) -> "MaskView":
+        """Bitmask fast path: ``P_S`` / ``E_S`` interned into ``universe``.
+
+        ``universe`` is an
+        :class:`~repro.core.attrsets.AttributeUniverse`; the conversion
+        is memoised there, so repeated calls are dictionary lookups.
+        """
+        return universe.view_masks(self)
+
     def describe(self) -> str:
         """Render as in Figure 4, e.g. ``P_X=DT  E_X=SCP``."""
         p = "".join(sorted(self.plaintext)) or "-"
@@ -143,10 +155,21 @@ class Policy:
     assumes ("for each relation, a subject can hold at most one
     authorization").  The rule for :data:`ANY` applies to every subject
     with no explicit rule on that relation (closed policy otherwise).
+
+    The policy carries a monotone :attr:`version` counter, bumped by
+    every :meth:`grant` and :meth:`revoke`.  Caches keyed on the version
+    (notably :class:`repro.core.plancache.AssignmentCache`) are thereby
+    invalidated by any policy change without inspecting the rules.
     """
 
     schema: Schema | None = None
     _rules: dict[str, dict[str, Authorization]] = field(default_factory=dict)
+    _version: int = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone change counter (grants and revocations bump it)."""
+        return self._version
 
     def grant(self, authorization: Authorization) -> Authorization:
         """Register one rule; rejects duplicates for the same pair."""
@@ -172,12 +195,37 @@ class Policy:
                 f"on relation {authorization.relation}"
             )
         per_relation[authorization.subject] = authorization
+        self._version += 1
         return authorization
 
     def grant_all(self, authorizations: Iterable[Authorization]) -> None:
         """Register many rules at once."""
         for authorization in authorizations:
             self.grant(authorization)
+
+    def revoke(self, relation: str | Relation,
+               subject: str | Subject) -> Authorization:
+        """Remove and return the rule for (relation, subject).
+
+        Raises :class:`AuthorizationError` when no explicit rule exists
+        for the pair (the :data:`ANY` default must be revoked as subject
+        :data:`ANY` explicitly).  Bumps :attr:`version`.
+        """
+        relation_name = relation.name if isinstance(relation, Relation) \
+            else relation
+        subject_name = subject.name if isinstance(subject, Subject) \
+            else subject
+        per_relation = self._rules.get(relation_name)
+        if per_relation is None or subject_name not in per_relation:
+            raise AuthorizationError(
+                f"no authorization for subject {subject_name} on relation "
+                f"{relation_name} to revoke"
+            )
+        rule = per_relation.pop(subject_name)
+        if not per_relation:
+            del self._rules[relation_name]
+        self._version += 1
+        return rule
 
     def rule_for(self, relation: str, subject: str | Subject) -> Authorization | None:
         """The rule applying to ``subject`` on ``relation``.

@@ -19,16 +19,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from repro.core.attrsets import (
+    AttributeUniverse,
+    assignee_authorized,
+    relation_authorized,
+)
 from repro.core.authorization import Policy, Subject, SubjectView
 from repro.core.lineage import augment_view, derived_lineage
 from repro.core.operators import PlanNode
-from repro.core.plan import QueryPlan
+from repro.core.plan import NodeMap, QueryPlan
 from repro.core.profile import RelationProfile
 from repro.core.requirements import (
     SchemeCapabilities,
     infer_plaintext_requirements,
 )
-from repro.core.visibility import is_authorized_assignee, is_authorized_for_relation
 from repro.exceptions import NoCandidateError, PlanError
 
 
@@ -88,12 +92,10 @@ def minimum_view_profiles(
     """
     if requirements is None:
         requirements = infer_plaintext_requirements(plan, capabilities)
+    requirement_map: NodeMap[frozenset[str]] = NodeMap(requirements)
 
     def plaintext_needed(node: PlanNode) -> frozenset[str]:
-        for key, value in requirements.items():
-            if key is node:
-                return value
-        return frozenset()
+        return requirement_map.get(node, frozenset())
 
     results: dict[int, RelationProfile] = {}
     operand_views: dict[int, tuple[RelationProfile, ...]] = {}
@@ -188,19 +190,26 @@ def compute_candidates(
     """
     min_views = minimum_view_profiles(plan, requirements, capabilities)
     lineage = derived_lineage(plan)
+    universe = AttributeUniverse()
     views: list[SubjectView] = [
         augment_view(
             policy.view(s.name if isinstance(s, Subject) else s), lineage
         )
         for s in subjects
     ]
+    # Definition 4.2 over the minimum views, mask-backed: profiles and
+    # views are interned once, so the subject × node loop is a handful
+    # of integer subset tests per check instead of frozenset algebra.
+    view_masks = [(view.subject, view.masks(universe)) for view in views]
     candidates: dict[int, frozenset[str]] = {}
     for node in plan.operations():
-        operand_views = min_views.views_for(node)
-        result = min_views.result_profile(node)
+        operand_masks = tuple(
+            profile.masks(universe) for profile in min_views.views_for(node)
+        )
+        result_masks = min_views.result_profile(node).masks(universe)
         candidates[id(node)] = frozenset(
-            view.subject for view in views
-            if is_authorized_assignee(view, node, operand_views, result)
+            subject for subject, masks in view_masks
+            if assignee_authorized(masks, operand_masks, result_masks)
         )
     return CandidateAssignment(plan, candidates, min_views)
 
@@ -217,10 +226,11 @@ def user_can_receive_result(plan: QueryPlan, policy: Policy,
     authorized for the user per Definition 4.1.
     """
     min_views = min_views or minimum_view_profiles(plan)
-    root_profile = min_views.result_profile(plan.root)
-    delivered = root_profile.decrypt(root_profile.visible_encrypted)
+    universe = AttributeUniverse()
+    root_masks = min_views.result_profile(plan.root).masks(universe)
+    delivered = root_masks.decrypt(root_masks.ve)
     view = augment_view(
         policy.view(user.name if isinstance(user, Subject) else user),
         derived_lineage(plan),
     )
-    return is_authorized_for_relation(view, delivered)
+    return relation_authorized(view.masks(universe), delivered)

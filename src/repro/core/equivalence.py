@@ -122,6 +122,16 @@ class EquivalenceClasses:
             result |= cls_
         return frozenset(result)
 
+    def masks(self, universe) -> tuple[int, ...]:
+        """Bitmask fast path: one ``int`` mask per class (memoised).
+
+        ``universe`` is an
+        :class:`~repro.core.attrsets.AttributeUniverse`; the condition-3
+        uniform-visibility check over a class mask ``m`` is then just
+        ``m & ~P == 0 or m & ~E == 0``.
+        """
+        return universe.equivalence_masks(self)
+
     def restrict(self, attributes: Iterable[str]) -> "EquivalenceClasses":
         """Partition with every class intersected with ``attributes``.
 

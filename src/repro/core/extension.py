@@ -43,7 +43,7 @@ from repro.core.operators import (
     Selection,
     Udf,
 )
-from repro.core.plan import QueryPlan
+from repro.core.plan import NodeMap, QueryPlan
 from repro.core.predicates import AttributeComparisonPredicate
 from repro.core.profile import RelationProfile
 from repro.core.predicates import EncryptedCapability
@@ -83,11 +83,15 @@ class ExtendedPlan:
     source_encryption: dict[str, frozenset[str]] = field(default_factory=dict)
 
     def assignee(self, node: PlanNode) -> str:
-        """Assignee of an extended-plan node."""
-        for key, subject in self.assignment.items():
-            if key is node:
-                return subject
-        raise PlanError(f"node {node!r} has no assignee")
+        """Assignee of an extended-plan node.
+
+        Plan nodes hash by identity, so this is a live O(1) lookup in
+        the public ``assignment`` dict.
+        """
+        subject = self.assignment.get(node)
+        if subject is None:
+            raise PlanError(f"node {node!r} has no assignee")
+        return subject
 
     def encryption_operations(self) -> tuple[Encrypt, ...]:
         """All encryption nodes, in post-order."""
@@ -106,11 +110,7 @@ class ExtendedPlan:
         profiles = self.plan.profiles()
         annotations = {}
         for node in self.plan.nodes():
-            subject = None
-            for key, value in self.assignment.items():
-                if key is node:
-                    subject = value
-                    break
+            subject = self.assignment.get(node)
             tag = profiles[node].describe()
             annotations[node] = f"@{subject}  {tag}" if subject else tag
         return self.plan.pretty(annotations)
@@ -178,17 +178,17 @@ def minimally_extend(
     def subject_view(subject: str):
         return augment_view(policy.view(subject), lineage)
 
+    assignment_map: NodeMap[str] = NodeMap(assignment)
+    requirement_map: NodeMap[frozenset[str]] = NodeMap(requirements)
+
     def lam(node: PlanNode) -> str:
-        for key, subject in assignment.items():
-            if key is node:
-                return subject
-        raise PlanError(f"assignment does not cover node {node.label()}")
+        subject = assignment_map.get(node)
+        if subject is None:
+            raise PlanError(f"assignment does not cover node {node.label()}")
+        return subject
 
     def plaintext_needed(node: PlanNode) -> frozenset[str]:
-        for key, value in requirements.items():
-            if key is node:
-                return value
-        return frozenset()
+        return requirement_map.get(node, frozenset())
 
     # Union of E_Sx over the strict ancestors of each node (the ``A`` term
     # of Definition 5.4(ii) ranges over the assignees above the node).

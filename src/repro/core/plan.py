@@ -8,7 +8,7 @@ profile computation (Figure 3), and structural validation.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Mapping
+from typing import Callable, Generic, Iterable, Iterator, Mapping, TypeVar
 
 from repro.core.operators import (
     BaseRelationNode,
@@ -18,6 +18,77 @@ from repro.core.operators import (
 )
 from repro.core.profile import RelationProfile
 from repro.exceptions import PlanError
+
+V = TypeVar("V")
+
+
+class NodeMap(Generic[V]):
+    """A node → value mapping keyed by object identity, O(1) per lookup.
+
+    Plan nodes compare by identity, and per-node annotations (profiles,
+    assignments, plaintext requirements, candidate sets) must never
+    confuse two structurally equal nodes at different plan positions.
+    ``NodeMap`` makes that contract explicit and cheap: keys are
+    ``id(node)`` with the node kept alive by the map, replacing the
+    ``for key, value in mapping.items(): if key is node`` identity scans
+    that used to be O(n) per lookup.
+
+    Examples
+    --------
+    >>> from repro.core.schema import Relation
+    >>> leaf = BaseRelationNode(Relation("R", ["a"]))
+    >>> m = NodeMap([(leaf, "X")])
+    >>> m[leaf]
+    'X'
+    >>> leaf in m and len(m) == 1
+    True
+    """
+
+    __slots__ = ("_values", "_nodes")
+
+    def __init__(self, items: Mapping[PlanNode, V]
+                 | Iterable[tuple[PlanNode, V]] = ()) -> None:
+        self._values: dict[int, V] = {}
+        self._nodes: dict[int, PlanNode] = {}
+        if isinstance(items, Mapping):
+            items = items.items()
+        for node, value in items:
+            self[node] = value
+
+    def __getitem__(self, node: PlanNode) -> V:
+        try:
+            return self._values[id(node)]
+        except KeyError:
+            raise KeyError(node) from None
+
+    def __setitem__(self, node: PlanNode, value: V) -> None:
+        self._values[id(node)] = value
+        self._nodes[id(node)] = node
+
+    def get(self, node: PlanNode, default: V | None = None) -> V | None:
+        """Value for ``node``, or ``default`` when absent."""
+        return self._values.get(id(node), default)
+
+    def __contains__(self, node: object) -> bool:
+        return isinstance(node, PlanNode) and id(node) in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[PlanNode]:
+        return iter(self._nodes.values())
+
+    def keys(self) -> Iterator[PlanNode]:
+        """The nodes, in insertion order."""
+        return iter(self._nodes.values())
+
+    def values(self) -> Iterator[V]:
+        """The values, in insertion order."""
+        return iter(self._values.values())
+
+    def items(self) -> Iterator[tuple[PlanNode, V]]:
+        """(node, value) pairs, in insertion order."""
+        return zip(self._nodes.values(), self._values.values())
 
 
 class QueryPlan:
@@ -33,7 +104,8 @@ class QueryPlan:
     ['Hosp(S,B,D,T)', 'π[D,S]']
     """
 
-    __slots__ = ("root", "_postorder", "_parents", "_profiles")
+    __slots__ = ("root", "_postorder", "_parents", "_profiles",
+                 "_fingerprint")
 
     def __init__(self, root: PlanNode) -> None:
         self.root = root
@@ -45,7 +117,8 @@ class QueryPlan:
             for child in node.children:
                 parents[id(child)] = node
         self._parents = parents
-        self._profiles: dict[int, RelationProfile] | None = None
+        self._profiles: NodeMap[RelationProfile] | None = None
+        self._fingerprint: tuple | None = None
 
     # ------------------------------------------------------------------
     # Traversal
@@ -102,20 +175,55 @@ class QueryPlan:
         the per-node tags of Figure 3.
         """
         if self._profiles is None:
-            computed: dict[int, RelationProfile] = {}
+            computed: NodeMap[RelationProfile] = NodeMap()
             for node in self._postorder:
-                child_profiles = [computed[id(c)] for c in node.children]
-                computed[id(node)] = node.output_profile(*child_profiles)
+                child_profiles = [computed[c] for c in node.children]
+                computed[node] = node.output_profile(*child_profiles)
             self._profiles = computed
-        return _IdentityMapping(self._profiles, self._postorder)
+        return self._profiles
 
     def profile(self, node: PlanNode) -> RelationProfile:
         """Profile of the relation produced by ``node``."""
-        return self.profiles()[node]
+        try:
+            return self.profiles()[node]
+        except KeyError:
+            raise PlanError(f"node {node!r} is not part of this plan") from None
 
     def root_profile(self) -> RelationProfile:
         """Profile of the query result."""
         return self.profile(self.root)
+
+    # ------------------------------------------------------------------
+    # Identification
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> tuple:
+        """A hashable structural fingerprint of the plan (cached).
+
+        Two plans share a fingerprint exactly when they have the same
+        shape, the same operator parameters (via :meth:`PlanNode.label`),
+        and leaves over relations with the same name, cardinality, and
+        per-attribute statistics — i.e. when the assignment pipeline
+        would treat them identically.  Used as (part of) the key of the
+        policy-versioned assignment cache
+        (:class:`repro.core.plancache.AssignmentCache`).
+        """
+        if self._fingerprint is None:
+            parts = []
+            for node in self._postorder:
+                if isinstance(node, BaseRelationNode):
+                    relation = node.relation
+                    stats = tuple(
+                        (name, relation.spec(name).width,
+                         relation.spec(name).distinct_fraction)
+                        for name in sorted(node.projection)
+                    )
+                    parts.append(("leaf", relation.name,
+                                  relation.cardinality, stats))
+                else:
+                    parts.append((type(node).__name__, node.label(),
+                                  len(node.children)))
+            self._fingerprint = tuple(parts)
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Rewriting
@@ -172,38 +280,10 @@ class QueryPlan:
         return self.pretty({n: profiles[n].describe() for n in self.nodes()})
 
 
-class _IdentityMapping(Mapping[PlanNode, RelationProfile]):
-    """A node → profile mapping keyed by object identity."""
-
-    def __init__(self, by_id: dict[int, RelationProfile],
-                 nodes: tuple[PlanNode, ...]) -> None:
-        self._by_id = by_id
-        self._nodes = nodes
-
-    def __getitem__(self, node: PlanNode) -> RelationProfile:
-        try:
-            return self._by_id[id(node)]
-        except KeyError:
-            raise PlanError(f"node {node!r} is not part of this plan") from None
-
-    def __iter__(self) -> Iterator[PlanNode]:
-        return iter(self._nodes)
-
-    def __len__(self) -> int:
-        return len(self._nodes)
-
-
-def _identity_get(mapping: Mapping[PlanNode, str], node: PlanNode) -> str | None:
-    """Fetch from either identity-keyed or regular mappings."""
-    if isinstance(mapping, dict):
-        for key, value in mapping.items():
-            if key is node:
-                return value
-        return None
-    try:
-        return mapping[node]
-    except KeyError:
-        return None
+def _identity_get(mapping: Mapping[PlanNode, str] | NodeMap[str],
+                  node: PlanNode) -> str | None:
+    """Fetch a per-node annotation (nodes hash by identity, so O(1))."""
+    return mapping.get(node)
 
 
 def _postorder_walk(root: PlanNode) -> Iterator[PlanNode]:

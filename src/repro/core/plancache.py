@@ -1,0 +1,144 @@
+"""Policy-versioned caching of assignment results.
+
+The multi-tenant scenario of the ROADMAP north star — the same queries
+planned over a stable policy for millions of users — pays the full §6
+pipeline (candidates, DP search, minimal extension, key establishment,
+exact costing) on every request, even though the output only depends on
+the plan structure, the policy contents, and the pricing inputs.
+:class:`AssignmentCache` memoises full
+:class:`~repro.core.assignment.AssignmentResult` objects one layer above
+the executor's result cache of PR 1:
+
+* the **key** combines the plan's structural fingerprint
+  (:meth:`~repro.core.plan.QueryPlan.fingerprint`), the policy's
+  monotone :attr:`~repro.core.authorization.Policy.version` counter
+  (bumped by every ``grant``/``revoke``, so any policy change misses),
+  and the remaining value-like inputs of
+  :func:`~repro.core.assignment.assign` (subjects, user, owners,
+  strategy, scheme capabilities, per-node plaintext requirements);
+* the **context** holds the identity-compared inputs (the policy and
+  price-list/topology objects).  Entries keep strong references to their
+  context, so a hit requires the *same live objects* — two different
+  policies that happen to share a version count can never alias.
+
+Entries are evicted least-recently-used beyond ``maxsize``.  Cached
+results are shared (not copied); callers must treat them as immutable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Hashable, Iterable, Mapping
+
+from repro.core.authorization import Policy
+from repro.core.plan import NodeMap, QueryPlan
+from repro.core.operators import PlanNode
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.assignment import AssignmentResult
+
+#: Objects compared by identity on lookup (kept alive by the entry).
+Context = tuple[object, ...]
+
+
+def requirements_signature(
+    plan: QueryPlan,
+    requirements: Mapping[PlanNode, frozenset[str]],
+) -> tuple[tuple[str, ...], ...]:
+    """Hashable per-operation ``Ap`` signature, in post-order."""
+    requirement_map: NodeMap[frozenset[str]] = NodeMap(requirements)
+    return tuple(
+        tuple(sorted(requirement_map.get(node, frozenset())))
+        for node in plan.operations()
+    )
+
+
+def assignment_cache_key(
+    plan: QueryPlan,
+    policy: Policy,
+    subject_names: Iterable[str],
+    user: str,
+    owners: Mapping[str, str] | None,
+    strategy: str,
+    capabilities: Hashable,
+    requirements: Mapping[PlanNode, frozenset[str]],
+) -> tuple:
+    """The value part of a cache key for one ``assign`` invocation."""
+    return (
+        plan.fingerprint(),
+        policy.version,
+        tuple(sorted(subject_names)),
+        user,
+        tuple(sorted((owners or {}).items())),
+        strategy,
+        capabilities,
+        requirements_signature(plan, requirements),
+    )
+
+
+class AssignmentCache:
+    """An LRU over full assignment results, keyed by policy version.
+
+    Examples
+    --------
+    >>> cache = AssignmentCache(maxsize=2)
+    >>> cache.put(("k",), (None,), "result")
+    >>> cache.get(("k",), (None,))
+    'result'
+    >>> cache.get(("k",), ("other-context",)) is None
+    True
+    >>> cache.info()["hits"], cache.info()["misses"]
+    (1, 1)
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, tuple[Context, object]] = \
+            OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: tuple, context: Context) -> "AssignmentResult | None":
+        """The cached result for ``key``, or ``None``.
+
+        ``context`` must match the stored context object-for-object
+        (``is``), guarding against id-collisions between distinct
+        policies/price lists with equal value keys.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            stored_context, result = entry
+            if len(stored_context) == len(context) and all(
+                stored is current
+                for stored, current in zip(stored_context, context)
+            ):
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return result
+        self._misses += 1
+        return None
+
+    def put(self, key: tuple, context: Context, result: object) -> None:
+        """Store ``result``, evicting the least recently used overflow."""
+        self._entries[key] = (tuple(context), result)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept)."""
+        self._entries.clear()
+
+    def info(self) -> dict[str, int]:
+        """Hit/miss/size counters."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -95,6 +95,17 @@ class RelationProfile:
         """
         return self.visible | self.implicit | self.equivalences.members()
 
+    def masks(self, universe) -> "object":
+        """Bitmask fast path: this profile interned into ``universe``.
+
+        ``universe`` is an
+        :class:`~repro.core.attrsets.AttributeUniverse`; returns the
+        memoised :class:`~repro.core.attrsets.MaskProfile`, on which
+        Definition 4.1/4.2 checks and the Figure 2 algebra are integer
+        operations.
+        """
+        return universe.profile_masks(self)
+
     # ------------------------------------------------------------------
     # Profile algebra used by the Figure 2 rules
     # ------------------------------------------------------------------

@@ -11,10 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from repro.core.attrsets import AttributeUniverse, assignee_authorized
 from repro.core.authorization import Policy, Subject, SubjectView
 from repro.core.lineage import augment_view, derived_lineage
 from repro.core.operators import PlanNode
-from repro.core.plan import QueryPlan
+from repro.core.plan import NodeMap, QueryPlan
 from repro.core.profile import RelationProfile
 from repro.exceptions import UnauthorizedError
 
@@ -91,8 +92,23 @@ def check_relation(view: SubjectView,
 
 def is_authorized_for_relation(view: SubjectView,
                                profile: RelationProfile) -> bool:
-    """Boolean form of :func:`check_relation` (Definition 4.1)."""
-    return check_relation(view, profile).authorized
+    """Boolean form of :func:`check_relation` (Definition 4.1).
+
+    Diagnostics-free fast path: evaluates the three conditions with
+    set-subset tests only, without formatting any violation strings.
+    Use :func:`check_relation` when the *reasons* are needed.
+    """
+    if not (profile.visible_plaintext
+            | profile.implicit_plaintext) <= view.plaintext:
+        return False
+    visible = view.plaintext | view.encrypted
+    if not (profile.visible_encrypted
+            | profile.implicit_encrypted) <= visible:
+        return False
+    for eq_class in profile.equivalences:
+        if not (eq_class <= view.plaintext or eq_class <= view.encrypted):
+            return False
+    return True
 
 
 def require_authorized(view: SubjectView, profile: RelationProfile,
@@ -134,8 +150,15 @@ def check_assignee(view: SubjectView, node: PlanNode,
 def is_authorized_assignee(view: SubjectView, node: PlanNode,
                            operand_profiles: Iterable[RelationProfile],
                            result_profile: RelationProfile) -> bool:
-    """Boolean form of :func:`check_assignee` (Definition 4.2)."""
-    return check_assignee(view, node, operand_profiles, result_profile).authorized
+    """Boolean form of :func:`check_assignee` (Definition 4.2).
+
+    Diagnostics-free: short-circuits on the first failing operand
+    instead of collecting violations.
+    """
+    for operand in operand_profiles:
+        if not is_authorized_for_relation(view, operand):
+            return False
+    return is_authorized_for_relation(view, result_profile)
 
 
 def authorized_assignees(plan: QueryPlan, policy: Policy,
@@ -150,20 +173,22 @@ def authorized_assignees(plan: QueryPlan, policy: Policy,
     """
     profiles = plan.profiles()
     lineage = derived_lineage(plan)
+    universe = AttributeUniverse()
     views = [
         augment_view(
             policy.view(s.name if isinstance(s, Subject) else s), lineage
         )
         for s in subjects
     ]
+    view_masks = [(view.subject, view.masks(universe)) for view in views]
     result: dict[PlanNode, frozenset[str]] = {}
     for node in plan.operations():
-        operand_profiles = [profiles[child] for child in node.children]
-        result_profile = profiles[node]
+        operand_masks = [profiles[child].masks(universe)
+                         for child in node.children]
+        result_masks = profiles[node].masks(universe)
         result[node] = frozenset(
-            view.subject for view in views
-            if is_authorized_assignee(view, node, operand_profiles,
-                                      result_profile)
+            subject for subject, masks in view_masks
+            if assignee_authorized(masks, operand_masks, result_masks)
         )
     return result
 
@@ -177,12 +202,9 @@ def verify_assignment(plan: QueryPlan, policy: Policy,
     """
     profiles = plan.profiles()
     lineage = derived_lineage(plan)
+    assignees: NodeMap[str] = NodeMap(assignment)
     for node in plan.operations():
-        subject = None
-        for key, value in assignment.items():
-            if key is node:
-                subject = value
-                break
+        subject = assignees.get(node)
         if subject is None:
             raise UnauthorizedError(
                 f"assignment does not cover operation {node.label()}"

@@ -102,6 +102,79 @@ class TestAssign:
                          owners=example.owners)
         assert "total=$" in outcome.describe()
 
+    def test_unknown_search_impl_rejected(self, example, prices):
+        with pytest.raises(ValueError):
+            assign(example.plan, example.policy, example.subject_names,
+                   prices, user="U", search_impl="quantum")
+
+
+class TestExhaustive:
+    def test_stats_account_for_every_combination(self, example, prices):
+        outcome = assign(example.plan, example.policy,
+                         example.subject_names, prices, user="U",
+                         owners=example.owners, strategy="exhaustive")
+        stats = outcome.search_stats
+        assert stats is not None
+        assert stats["combinations"] > 0
+        # Every combination is evaluated, pruned, or skipped-unauthorized.
+        assert (stats["evaluated"] + stats["pruned"]
+                + stats["skipped_unauthorized"]) == stats["combinations"]
+
+    def test_pruning_preserves_the_optimum(self, example, prices):
+        # The pruned search must still find the same minimum cost the DP
+        # portfolio approximates from above.
+        exhaustive = assign(example.plan, example.policy,
+                            example.subject_names, prices, user="U",
+                            owners=example.owners, strategy="exhaustive")
+        dp = assign(example.plan, example.policy, example.subject_names,
+                    prices, user="U", owners=example.owners, strategy="dp")
+        assert exhaustive.cost.total_usd <= dp.cost.total_usd * 1.0001
+
+    def test_pruning_actually_prunes(self, example, prices):
+        # With user-rate 10× and authority-rate 3× subjects in the
+        # domains, the CPU lower bound must cut at least some subtrees.
+        outcome = assign(example.plan, example.policy,
+                         example.subject_names, prices, user="U",
+                         owners=example.owners, strategy="exhaustive")
+        assert outcome.search_stats["pruned"] > 0
+
+    def test_candidate_combinations_never_skip(self, example, prices):
+        # Theorem 5.2(ii): every λ ∈ Λ extends successfully, so the
+        # unauthorized-skip counter stays zero for in-Λ enumeration.
+        outcome = assign(example.plan, example.policy,
+                         example.subject_names, prices, user="U",
+                         owners=example.owners, strategy="exhaustive")
+        assert outcome.search_stats["skipped_unauthorized"] == 0
+
+    def test_unauthorized_skips_are_counted_and_reported(
+            self, example, prices, monkeypatch):
+        # Force every extension to fail: the search must count each
+        # combination as skipped (not silently drop it) and report the
+        # tally in the error.
+        import re
+
+        import repro.core.assignment as assignment_module
+
+        def always_unauthorized(*args, **kwargs):
+            raise UnauthorizedError("forced by the test")
+
+        monkeypatch.setattr(assignment_module, "minimally_extend",
+                            always_unauthorized)
+        with pytest.raises(NoCandidateError) as excinfo:
+            assign(example.plan, example.policy, example.subject_names,
+                   prices, user="U", owners=example.owners,
+                   strategy="exhaustive")
+        match = re.search(r"\((\d+) combinations skipped as unauthorized",
+                          str(excinfo.value))
+        assert match is not None
+        assert int(match.group(1)) > 0
+
+    def test_dp_results_have_no_stats(self, example, prices):
+        outcome = assign(example.plan, example.policy,
+                         example.subject_names, prices, user="U",
+                         owners=example.owners)
+        assert outcome.search_stats is None
+
 
 class TestLineage:
     def test_derived_lineage_of_aliases(self):

@@ -1,0 +1,308 @@
+"""Property tests for the planner's bitset kernel and memoized DP.
+
+Two equivalence obligations from ISSUE 2:
+
+* the mask-backed profile algebra and Definition 4.1/4.2 checks of
+  :mod:`repro.core.attrsets` agree with the frozenset semantics of
+  :mod:`repro.core.profile` / :mod:`repro.core.visibility` on random
+  profiles and views;
+* the decomposed, memoized DP (``search_impl="fast"``) picks
+  cost-identical assignments to the per-pair reference implementation on
+  the running example, the TPC-H ablation queries (Q3/Q5/Q18), and the
+  random scenarios.
+"""
+
+import random
+
+import pytest
+
+from repro.core.assignment import assign
+from repro.core.attrsets import (
+    AttributeUniverse,
+    relation_authorized,
+)
+from repro.core.authorization import SubjectView
+from repro.core.equivalence import EquivalenceClasses
+from repro.core.profile import RelationProfile
+from repro.core.visibility import check_relation, is_authorized_for_relation
+from repro.cost.pricing import PriceList
+from repro.exceptions import (
+    NoCandidateError,
+    ProfileError,
+    ReproError,
+)
+
+POOL = list("ABCDEFGHJK")
+
+
+def random_profile(rng: random.Random) -> RelationProfile:
+    """A random, internally consistent relation profile."""
+    shuffled = POOL[:]
+    rng.shuffle(shuffled)
+    split = rng.randint(0, len(shuffled))
+    vp = frozenset(shuffled[:split][:rng.randint(0, 5)])
+    ve = frozenset(shuffled[split:][:rng.randint(0, 5)])
+    ip = frozenset(rng.sample(POOL, rng.randint(0, 3)))
+    ie = frozenset(rng.sample(POOL, rng.randint(0, 3)))
+    classes = [
+        rng.sample(POOL, rng.randint(2, 3))
+        for _ in range(rng.randint(0, 3))
+    ]
+    return RelationProfile(
+        visible_plaintext=vp,
+        visible_encrypted=ve,
+        implicit_plaintext=ip,
+        implicit_encrypted=ie,
+        equivalences=EquivalenceClasses(classes),
+    )
+
+
+def random_view(rng: random.Random) -> SubjectView:
+    shuffled = POOL[:]
+    rng.shuffle(shuffled)
+    split = rng.randint(0, len(shuffled))
+    return SubjectView(
+        subject="S",
+        plaintext=frozenset(shuffled[:split][:rng.randint(0, 7)]),
+        encrypted=frozenset(shuffled[split:][:rng.randint(0, 7)]),
+    )
+
+
+class TestMaskChecksMatchFrozensets:
+    """Definition 4.1 over masks ≡ over frozensets, on random inputs."""
+
+    def test_relation_authorized_equivalence(self):
+        rng = random.Random(20170917)
+        universe = AttributeUniverse()
+        for _ in range(500):
+            profile = random_profile(rng)
+            view = random_view(rng)
+            expected = is_authorized_for_relation(view, profile)
+            assert check_relation(view, profile).authorized == expected
+            actual = relation_authorized(
+                view.masks(universe), profile.masks(universe))
+            assert actual == expected, (view, profile)
+
+    def test_mask_round_trip(self):
+        rng = random.Random(7)
+        universe = AttributeUniverse()
+        for _ in range(200):
+            profile = random_profile(rng)
+            assert profile.masks(universe).to_profile() == profile
+
+    def test_universe_interning_is_stable(self):
+        universe = AttributeUniverse()
+        early = universe.mask(["A", "B"])
+        universe.mask(["Z1", "Z2", "Z3"])  # grow the universe
+        assert universe.mask(["A", "B"]) == early
+        assert universe.names(early) == frozenset({"A", "B"})
+
+
+class TestMaskAlgebraMatchesFrozensets:
+    """The Figure 2 algebra on masks ≡ on RelationProfile."""
+
+    def check_op(self, universe, profile, op, mask_op):
+        """Apply both forms; identical results or identical errors."""
+        try:
+            expected = op(profile)
+            failed = None
+        except ProfileError as error:
+            expected = None
+            failed = error
+        masks = profile.masks(universe)
+        if failed is not None:
+            with pytest.raises(ProfileError):
+                mask_op(masks)
+            return
+        assert mask_op(masks).to_profile() == expected
+
+    def test_unary_operations(self):
+        rng = random.Random(42)
+        universe = AttributeUniverse()
+        for _ in range(300):
+            profile = random_profile(rng)
+            attrs = frozenset(rng.sample(POOL, rng.randint(0, 4)))
+            mask = universe.mask(attrs)
+            case = rng.randrange(5)
+            if case == 0:
+                if not attrs:
+                    continue  # empty projection is rejected upstream
+                self.check_op(universe, profile,
+                              lambda p: p.project(attrs),
+                              lambda m: m.project(mask))
+            elif case == 1:
+                self.check_op(universe, profile,
+                              lambda p: p.add_implicit(attrs),
+                              lambda m: m.add_implicit(mask))
+            elif case == 2:
+                self.check_op(universe, profile,
+                              lambda p: p.add_equivalence(attrs),
+                              lambda m: m.add_equivalence(mask))
+            elif case == 3:
+                self.check_op(universe, profile,
+                              lambda p: p.encrypt(attrs),
+                              lambda m: m.encrypt(mask))
+            else:
+                self.check_op(universe, profile,
+                              lambda p: p.decrypt(attrs),
+                              lambda m: m.decrypt(mask))
+
+    def test_combine(self):
+        rng = random.Random(99)
+        universe = AttributeUniverse()
+        for _ in range(200):
+            left = random_profile(rng)
+            right = random_profile(rng)
+            try:
+                expected = left.combine(right)
+            except ProfileError:
+                # overlap of one side's vp with the other's ve: the mask
+                # form must reject it too.
+                with pytest.raises(ProfileError):
+                    left.masks(universe).combine(right.masks(universe))
+                continue
+            actual = left.masks(universe).combine(right.masks(universe))
+            assert actual.to_profile() == expected
+
+    def test_chained_operations_preserve_equivalences(self):
+        universe = AttributeUniverse()
+        profile = RelationProfile(
+            visible_plaintext=frozenset("ABC"),
+            visible_encrypted=frozenset("D"),
+        )
+        chained = (
+            profile.masks(universe)
+            .add_equivalence(universe.mask("AB"))
+            .add_equivalence(universe.mask("BC"))
+            .encrypt(universe.mask("A"))
+        )
+        expected = (
+            profile.add_equivalence("AB").add_equivalence("BC")
+            .encrypt("A")
+        )
+        assert chained.to_profile() == expected
+        assert len(chained.eq) == 1  # {A,B,C} merged
+
+
+class TestEdgeTableMatchesEdgeCost:
+    """_EdgeTable.cost ≡ the reference edge_cost, pair by pair."""
+
+    def build_searcher(self, example):
+        from repro.core.assignment import _AssignmentSearch
+        from repro.core.candidates import compute_candidates
+        from repro.core.requirements import (
+            chosen_schemes,
+            infer_plaintext_requirements,
+        )
+        from repro.cost.estimator import PlanEstimator
+
+        prices = PriceList.from_subjects(example.subjects)
+        requirements = infer_plaintext_requirements(example.plan)
+        candidates = compute_candidates(
+            example.plan, example.policy, example.subject_names,
+            requirements)
+        schemes = chosen_schemes(example.plan)
+        return _AssignmentSearch(
+            plan=example.plan, policy=example.policy,
+            candidates=candidates, requirements=requirements,
+            schemes=schemes, prices=prices,
+            estimator=PlanEstimator(schemes),
+            owners=dict(example.owners), user="U",
+        ), candidates
+
+    def test_every_pair_on_the_running_example(self, example):
+        searcher, candidates = self.build_searcher(example)
+        for mode in ("optimistic", "conservative"):
+            searcher.edge_scheme_mode = mode
+            for node in example.plan.operations():
+                receivers = sorted(candidates[node])
+                for child in node.children:
+                    edge = searcher.edge_table(child, node)
+                    senders = [searcher.owner_of(child)] if child.is_leaf \
+                        else sorted(candidates[child])
+                    for receiver in receivers:
+                        for sender in senders:
+                            assert edge.cost(sender, receiver) == \
+                                pytest.approx(
+                                    searcher.edge_cost(
+                                        child, sender, node, receiver),
+                                    rel=1e-12, abs=1e-18,
+                                ), (mode, sender, receiver, node.label())
+
+
+class TestFastDpMatchesReference:
+    """search_impl="fast" ≡ search_impl="reference" (cost-identical)."""
+
+    TOLERANCE = 1e-3
+
+    def assert_equivalent(self, plan_builder, policy, subjects, prices,
+                          user, owners=None):
+        fast = assign(plan_builder(), policy, subjects, prices, user=user,
+                      owners=owners)
+        reference = assign(plan_builder(), policy, subjects, prices,
+                           user=user, owners=owners,
+                           search_impl="reference")
+        drift = abs(fast.cost.total_usd - reference.cost.total_usd) \
+            / max(reference.cost.total_usd, 1e-18)
+        assert drift <= self.TOLERANCE, (
+            f"fast={fast.cost.total_usd} reference="
+            f"{reference.cost.total_usd}"
+        )
+
+    def test_running_example(self, example):
+        prices = PriceList.from_subjects(example.subjects)
+        fast = assign(example.plan, example.policy, example.subject_names,
+                      prices, user="U", owners=example.owners)
+        reference = assign(example.plan, example.policy,
+                           example.subject_names, prices, user="U",
+                           owners=example.owners, search_impl="reference")
+        assert fast.cost.total_usd == pytest.approx(
+            reference.cost.total_usd, rel=self.TOLERANCE)
+        # On the running example the choice itself must agree, too.
+        fast_choice = {n.label(): s for n, s in fast.assignment.items()}
+        ref_choice = {n.label(): s for n, s in reference.assignment.items()}
+        assert fast_choice == ref_choice
+
+    @pytest.mark.parametrize("scenario_name", ["UAPenc", "UAPmix"])
+    @pytest.mark.parametrize("query_number", [3, 5, 18])
+    def test_tpch_ablation_queries(self, scenario_name, query_number):
+        from repro.tpch.queries import query_plan
+        from repro.tpch.scenarios import scenario
+        from repro.tpch.schema import build_tpch_schema
+
+        schema = build_tpch_schema()
+        bundle = scenario(scenario_name, schema)
+        prices = PriceList.from_subjects(bundle.subjects)
+        self.assert_equivalent(
+            lambda: query_plan(query_number, schema), bundle.policy,
+            bundle.subject_names, prices, user=bundle.user,
+            owners=bundle.owners,
+        )
+
+    def test_random_scenarios(self, random_scenario):
+        scenario = random_scenario
+        prices = PriceList.paper_defaults(
+            providers=["S1", "S2", "S3"], authorities=[], user="U")
+        try:
+            fast = assign(scenario.plan, scenario.policy,
+                          scenario.subjects, prices, user="U")
+        except (NoCandidateError, ReproError):
+            pytest.skip("unassignable scenario")
+        reference = assign(scenario.plan, scenario.policy,
+                           scenario.subjects, prices, user="U",
+                           search_impl="reference")
+        assert fast.cost.total_usd == pytest.approx(
+            reference.cost.total_usd, rel=self.TOLERANCE)
+
+    def test_greedy_and_exhaustive_unaffected(self, example):
+        prices = PriceList.from_subjects(example.subjects)
+        for strategy in ("greedy", "exhaustive"):
+            fast = assign(example.plan, example.policy,
+                          example.subject_names, prices, user="U",
+                          owners=example.owners, strategy=strategy)
+            reference = assign(example.plan, example.policy,
+                               example.subject_names, prices, user="U",
+                               owners=example.owners, strategy=strategy,
+                               search_impl="reference")
+            assert fast.cost.total_usd == pytest.approx(
+                reference.cost.total_usd, rel=self.TOLERANCE)

@@ -10,10 +10,12 @@ import importlib
 import pytest
 
 MODULES = [
+    "repro.core.attrsets",
     "repro.core.authorization",
     "repro.core.equivalence",
     "repro.core.keys",
     "repro.core.plan",
+    "repro.core.plancache",
     "repro.core.predicates",
     "repro.core.profile",
     "repro.core.requirements",
