@@ -7,6 +7,8 @@ Usage::
     python -m repro fig10 [--scale 0.1]  # cumulative economics + savings
     python -m repro dispatch             # the Figure 8 dispatch table
     python -m repro ablate-mix           # uniform-visibility ablation
+    python -m repro workload [--repeat 3] [--schedule parallel]
+                                         # multi-user service session demo
 """
 
 from __future__ import annotations
@@ -52,7 +54,64 @@ def build_parser() -> argparse.ArgumentParser:
     ablate.add_argument("--scale", type=float, default=0.1)
     ablate.add_argument("--queries", type=str, default="3,5,10,18")
 
+    workload = commands.add_parser(
+        "workload",
+        help="run a multi-user SQL workload through the service layer")
+    workload.add_argument("--repeat", type=int, default=3,
+                          help="times each user repeats each query")
+    workload.add_argument("--schedule", type=str, default="parallel",
+                          choices=("parallel", "sequential"),
+                          help="fragment schedule for the runtime")
+
     return parser
+
+
+def run_workload(repeat: int, schedule: str) -> str:
+    """A small multi-user workload over the running example's service.
+
+    Users U and Y repeat the paper's query (Y is entitled to the
+    plaintext result: its view covers T and P); X is refused — the
+    assignment pipeline blocks users the policy does not authorize for
+    the result, before anything executes.
+    """
+    from repro.engine.table import Table
+    from repro.exceptions import UnauthorizedError
+    from repro.paper_example import build_running_example
+    from repro.service import QueryService
+
+    repeat = max(1, repeat)
+    example = build_running_example()
+    hosp = Table("Hosp", ("S", "B", "D", "T"), [
+        ("s1", 1980, "stroke", "tpa"),
+        ("s2", 1975, "stroke", "tpa"),
+        ("s3", 1990, "flu", "rest"),
+        ("s4", 1960, "stroke", "surgery"),
+        ("s5", 1955, "stroke", "surgery"),
+    ])
+    ins = Table("Ins", ("C", "P"), [
+        ("s1", 150.0), ("s2", 90.0), ("s3", 200.0),
+        ("s4", 60.0), ("s5", 50.0),
+    ])
+    service = QueryService(
+        example.schema, example.policy, example.subjects,
+        example.owners, {"H": {"Hosp": hosp}, "I": {"Ins": ins}},
+        user="U", schedule=schedule,
+    )
+    sql = ("select T, avg(P) from Hosp join Ins on S=C "
+           "where D='stroke' group by T having avg(P)>100")
+    lines = [f"query: {sql}", ""]
+    for user in ("U", "Y", "X"):
+        session = service.session(user)
+        try:
+            for _ in range(repeat):
+                outcome = session.run(sql)
+            lines.append(f"  {outcome.describe()}")
+            lines.append(f"  {session.describe()}")
+        except UnauthorizedError as error:
+            lines.append(f"  {user}: DENIED — {error}")
+        lines.append("")
+    lines.append(service.describe())
+    return "\n".join(lines)
 
 
 def _parse_queries(text: str) -> tuple[int, ...] | None:
@@ -85,6 +144,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"alternating split: ${totals['alternating']:.6f}")
         penalty = totals["alternating"] / totals["prefix"]
         print(f"uniform-visibility penalty: {penalty:.2f}x")
+    elif arguments.command == "workload":
+        print(run_workload(arguments.repeat, arguments.schedule))
     return 0
 
 

@@ -9,6 +9,7 @@ from repro.distributed.messages import (
     SubQueryPayload,
     decode_payload,
     encode_payload,
+    keystore_signature,
     open_envelope,
     seal_envelope,
 )
@@ -17,10 +18,12 @@ from repro.distributed.runtime import (
     ExecutionTrace,
     SubjectNode,
     build_runtime,
+    generate_subject_keys,
 )
 
 __all__ = [
     "DistributedRuntime", "ExecutionTrace", "SubQueryPayload",
     "SubjectNode", "build_runtime", "decode_payload", "encode_payload",
-    "open_envelope", "seal_envelope",
+    "generate_subject_keys", "keystore_signature", "open_envelope",
+    "seal_envelope",
 ]

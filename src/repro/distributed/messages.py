@@ -14,6 +14,7 @@ format here is exactly that ``[[q, keys] priU ] pubS`` construction:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
 from dataclasses import dataclass
@@ -77,6 +78,24 @@ def deserialize_key_material(encoded: dict) -> KeyMaterial:
         )
     except (KeyError, ValueError) as error:
         raise DispatchError(f"malformed key material: {error}") from None
+
+
+def keystore_signature(store: KeyStore | None) -> str:
+    """Deterministic digest of a store's key material.
+
+    Two stores with the same signature hold value-identical material, so
+    a long-lived executor keyed on it can keep its memoized subtree
+    results across queries: re-delivered envelopes carry *deserialized
+    copies* of the same keys, which must not read as a key change.
+    """
+    if store is None:
+        return "-"
+    body = json.dumps(
+        [serialize_key_material(store.material(name))
+         for name in sorted(store.names())],
+        sort_keys=True,
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
 
 def encode_payload(payload: SubQueryPayload) -> bytes:

@@ -18,10 +18,34 @@ Two enforcement layers make violations fail loudly rather than silently:
   at least encrypted authorization).
 
 Together they turn the paper's theorems into executable assertions.
+
+Scheduling
+----------
+The §6 dispatch hands every provider an *independent* sub-query, so the
+runtime derives an explicit fragment dependency graph from
+:meth:`~repro.core.dispatch.DispatchPlan.dependencies` and executes it on
+a worker pool: sibling fragments with no request path between them run
+concurrently, while a per-subject lock serializes the fragments of any
+one subject (a :class:`SubjectNode`'s executor state is never touched by
+two threads at once).  ``schedule="sequential"`` keeps the seed's
+demand-driven recursion — root first, one fragment at a time — as the
+bit-identical reference path; both schedules produce the same result
+table because each fragment's output depends only on its inputs.
+
+The runtime is also built to be *long-lived*: per-subject executors (and
+their memoized subtree results) persist across ``run`` calls keyed by the
+delivered key material, and whole fragment results are reused when the
+same fragment arrives again with identical inputs under an unchanged
+policy — the repeat-query regime the service layer
+(:mod:`repro.service`) serves.
 """
 
 from __future__ import annotations
 
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -36,6 +60,7 @@ from repro.crypto.keymanager import DistributedKeys, KeyStore
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
 from repro.distributed.messages import (
     SubQueryPayload,
+    keystore_signature,
     open_envelope,
     seal_envelope,
 )
@@ -44,30 +69,53 @@ from repro.engine.table import Table
 from repro.engine.values import EncryptedAggregate, EncryptedValue
 from repro.exceptions import DispatchError, UnauthorizedError
 
+#: Upper bound on persistent executors kept across runs (LRU beyond it).
+_EXECUTOR_POOL_LIMIT = 64
+
+#: Upper bound on memoized whole-fragment results (LRU beyond it).
+_FRAGMENT_CACHE_LIMIT = 256
+
 
 @dataclass
 class SubjectNode:
-    """One participant: identity, RSA keys, stored data, local state."""
+    """One participant: identity, RSA keys, stored data, local state.
+
+    ``latency_seconds`` simulates the per-fragment round-trip/processing
+    delay of a real remote provider; the scheduler overlaps these delays
+    across independent fragments (and the sequential reference path pays
+    their sum), which is what the workload benchmark measures.
+    """
 
     subject: Subject
     rsa_public: RsaPublicKey
     rsa_private: RsaPrivateKey
     tables: dict[str, Table] = field(default_factory=dict)
     udfs: dict[str, UdfCallable] = field(default_factory=dict)
+    latency_seconds: float = 0.0
 
     @classmethod
     def create(cls, subject: Subject,
                tables: Mapping[str, Table] | None = None,
                udfs: Mapping[str, UdfCallable] | None = None,
-               rsa_bits: int = 1024) -> "SubjectNode":
-        """Create a node with a fresh RSA keypair."""
-        public, private = generate_keypair(rsa_bits)
+               rsa_bits: int = 1024,
+               rsa_keys: tuple[RsaPublicKey, RsaPrivateKey] | None = None,
+               latency_seconds: float = 0.0) -> "SubjectNode":
+        """Create a node, generating an RSA keypair unless one is given.
+
+        ``rsa_keys`` lets long-lived deployments (the service layer,
+        repeated-query benchmarks) generate each subject's keypair once
+        and reuse it instead of paying keygen per construction.
+        """
+        if rsa_keys is None:
+            rsa_keys = generate_keypair(rsa_bits)
+        public, private = rsa_keys
         return cls(
             subject=subject,
             rsa_public=public,
             rsa_private=private,
             tables=dict(tables or {}),
             udfs=dict(udfs or {}),
+            latency_seconds=latency_seconds,
         )
 
     @property
@@ -84,38 +132,102 @@ class ExecutionTrace:
     rows_transferred: int = 0
     fragments_run: list[tuple[str, str]] = field(default_factory=list)
     violations: list[str] = field(default_factory=list)
+    schedule: str = "sequential"
+    fragment_cache_hits: int = 0
+
+
+@dataclass
+class _RunContext:
+    """Per-``run`` state, so concurrent runs never share mutable state."""
+
+    dispatch_plan: DispatchPlan
+    envelopes: dict[str, bytes]
+    profiles: Mapping[PlanNode, object]
+    lineage: Lineage
+    constant_store: KeyStore | None
+    constant_store_signature: str
+    trace: ExecutionTrace
+    user: str
+    user_node: SubjectNode
+    trace_lock: threading.Lock = field(default_factory=threading.Lock)
 
 
 class DistributedRuntime:
-    """Executes a dispatch plan across simulated subjects."""
+    """Executes dispatch plans across simulated subjects.
+
+    Parameters
+    ----------
+    schedule:
+        ``"parallel"`` (default) runs independent fragments concurrently
+        on a worker pool; ``"sequential"`` keeps the demand-driven
+        recursive reference path.  Both return identical results; only
+        trace ordering (and wall time) differs.
+    max_workers:
+        Worker-pool width for the parallel schedule (default: one per
+        fragment, capped at 32).
+    executor_cache_size / executor_cache_bytes:
+        Passed through to each persistent per-subject
+        :class:`~repro.engine.executor.Executor` (see its ``cache_size``
+        and ``cache_bytes``).
+    """
 
     def __init__(self, policy: Policy, nodes: Mapping[str, SubjectNode],
-                 user: str, enforce: bool = True) -> None:
+                 user: str, enforce: bool = True,
+                 schedule: str = "parallel",
+                 max_workers: int | None = None,
+                 executor_cache_size: int = 128,
+                 executor_cache_bytes: int | None = None) -> None:
         self.policy = policy
         self.nodes = dict(nodes)
         self.user = user
         self.enforce = enforce
+        self.schedule = _check_schedule(schedule)
+        self.max_workers = max_workers
+        self.executor_cache_size = executor_cache_size
+        self.executor_cache_bytes = executor_cache_bytes
         if user not in self.nodes:
             raise DispatchError(f"no runtime node for user {user!r}")
+        self._subject_locks: dict[str, threading.Lock] = {}
+        self._locks_guard = threading.Lock()
+        self._executors: OrderedDict[tuple, Executor] = OrderedDict()
+        self._fragment_cache: OrderedDict[
+            tuple, tuple[Table, PlanNode, tuple[Table, ...]]
+        ] = OrderedDict()
+        self._caches_guard = threading.Lock()
 
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
     def run(self, dispatch_plan: DispatchPlan, extended: ExtendedPlan,
             keys: KeyAssignment, distributed_keys: DistributedKeys,
+            *, user: str | None = None, schedule: str | None = None,
+            max_workers: int | None = None,
             ) -> tuple[Table, ExecutionTrace]:
         """Seal envelopes, execute every fragment, return the result.
 
         The user signs each fragment's payload and encrypts it for the
-        fragment's subject; fragments then execute demand-driven from the
-        root down, exactly like the nested ``req`` calls of Figure 8.
+        fragment's subject; fragments then execute according to the
+        chosen schedule — demand-driven root-down recursion
+        (``"sequential"``, exactly the nested ``req`` calls of Figure 8)
+        or dependency-graph order on a worker pool (``"parallel"``).
         """
-        trace = ExecutionTrace()
-        user_node = self.nodes[self.user]
-        profiles = extended.plan.profiles()
-        self._lineage = derived_lineage(extended.plan)
+        schedule = _check_schedule(schedule or self.schedule)
+        user = user or self.user
+        user_node = self._node_for(user)
+        trace = ExecutionTrace(schedule=schedule)
+        context = _RunContext(
+            dispatch_plan=dispatch_plan,
+            envelopes={},
+            profiles=extended.plan.profiles(),
+            lineage=derived_lineage(extended.plan),
+            constant_store=distributed_keys.master,
+            constant_store_signature=keystore_signature(
+                distributed_keys.master),
+            trace=trace,
+            user=user,
+            user_node=user_node,
+        )
 
-        envelopes: dict[str, bytes] = {}
         for fragment in dispatch_plan.fragments.values():
             subject_node = self._node_for(fragment.subject)
             payload = SubQueryPayload(
@@ -126,83 +238,252 @@ class DistributedRuntime:
             blob = seal_envelope(
                 payload, user_node.rsa_private, subject_node.rsa_public
             )
-            envelopes[fragment.fragment_id] = blob
+            context.envelopes[fragment.fragment_id] = blob
             trace.messages += 1
             trace.envelope_bytes += len(blob)
 
-        self._constant_store = distributed_keys.master
-        result = self._run_fragment(
-            dispatch_plan, dispatch_plan.root_fragment_id, envelopes,
-            profiles, trace,
-        )
+        if schedule == "sequential":
+            result = self._run_sequential(
+                context, dispatch_plan.root_fragment_id)
+        else:
+            result = self._run_parallel(context, max_workers)
+
         # Final delivery to the user: the user must be entitled to the
         # root relation, and to every column representation it contains.
         if self.enforce:
-            root_view = augment_view(self.policy.view(self.user),
-                                     self._lineage)
+            root_view = augment_view(self.policy.view(user),
+                                     context.lineage)
             self._check_profile(
-                root_view, profiles[extended.plan.root],
+                root_view, context.profiles[extended.plan.root],
                 "query result", trace,
             )
             self._check_values(root_view, result, trace)
         trace.rows_transferred += len(result)
         return result, trace
 
+    def invalidate_caches(self) -> None:
+        """Drop persistent executors and memoized fragment results.
+
+        Call after changing a :class:`SubjectNode`'s ``tables`` or
+        ``udfs`` in place: executors snapshot the catalog they were
+        created with, so data changes are otherwise invisible to them.
+        """
+        with self._caches_guard:
+            self._executors.clear()
+            self._fragment_cache.clear()
+
+    def cache_info(self) -> dict[str, int]:
+        """Aggregate executor/fragment cache counters across subjects."""
+        with self._caches_guard:
+            executors = list(self._executors.values())
+            fragment_entries = len(self._fragment_cache)
+        hits = sum(e.cache_hits for e in executors)
+        misses = sum(e.cache_misses for e in executors)
+        return {
+            "executors": len(executors),
+            "executor_hits": hits,
+            "executor_misses": misses,
+            "fragment_entries": fragment_entries,
+        }
+
+    # ------------------------------------------------------------------
+    # Schedules
+    # ------------------------------------------------------------------
+    def _run_sequential(self, context: _RunContext,
+                        fragment_id: str) -> Table:
+        """Demand-driven recursion: the seed's bit-identical reference."""
+        fragment = context.dispatch_plan.fragment(fragment_id)
+        node = self._node_for(fragment.subject)
+        payload = self._open_and_record(context, fragment, node)
+        view = augment_view(self.policy.view(fragment.subject),
+                            context.lineage)
+        inputs: dict[int, Table] = {}
+        for boundary_id, child_fragment_id in fragment.requests.items():
+            table = self._run_sequential(context, child_fragment_id)
+            self._receive_input(context, fragment, view, table)
+            inputs[boundary_id] = table
+        # The subject lock guards the persistent executor state against
+        # other runs; it is taken around the evaluation only (never while
+        # recursing into children) so same-subject nesting cannot
+        # deadlock.
+        with self._lock_for(fragment.subject):
+            return self._evaluate_fragment(context, fragment, node,
+                                           payload, view, inputs)
+
+    def _run_parallel(self, context: _RunContext,
+                      max_workers: int | None) -> Table:
+        """Dependency-graph scheduling on a worker pool.
+
+        A fragment becomes ready once all fragments it requests have
+        produced their tables; ready fragments are submitted immediately,
+        and the per-subject locks inside the fragment task keep any one
+        subject's execution serialized.
+        """
+        dispatch_plan = context.dispatch_plan
+        dependencies = dispatch_plan.dependencies()
+        dependents = dispatch_plan.dependents()
+        dispatch_plan.execution_levels()  # validates graph shape upfront
+        remaining = {f: len(deps) for f, deps in dependencies.items()}
+        results: dict[str, Table] = {}
+        workers = max_workers or self.max_workers \
+            or min(32, max(1, len(dispatch_plan.fragments)))
+
+        def task(fragment_id: str) -> Table:
+            fragment = dispatch_plan.fragment(fragment_id)
+            node = self._node_for(fragment.subject)
+            with self._lock_for(fragment.subject):
+                payload = self._open_and_record(context, fragment, node)
+                view = augment_view(self.policy.view(fragment.subject),
+                                    context.lineage)
+                inputs: dict[int, Table] = {}
+                for boundary_id, child_id in fragment.requests.items():
+                    table = results[child_id]
+                    self._receive_input(context, fragment, view, table)
+                    inputs[boundary_id] = table
+                return self._evaluate_fragment(context, fragment, node,
+                                               payload, view, inputs)
+
+        pool = ThreadPoolExecutor(max_workers=workers)
+        try:
+            pending = {}
+            for fragment_id, count in remaining.items():
+                if count == 0:
+                    pending[pool.submit(task, fragment_id)] = fragment_id
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    fragment_id = pending.pop(future)
+                    results[fragment_id] = future.result()  # may raise
+                    for parent_id in dependents[fragment_id]:
+                        remaining[parent_id] -= 1
+                        if remaining[parent_id] == 0:
+                            pending[pool.submit(task, parent_id)] = \
+                                parent_id
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        return results[dispatch_plan.root_fragment_id]
+
     # ------------------------------------------------------------------
     # Fragment execution
     # ------------------------------------------------------------------
-    def _run_fragment(self, dispatch_plan: DispatchPlan, fragment_id: str,
-                      envelopes: dict[str, bytes],
-                      profiles: Mapping[PlanNode, object],
-                      trace: ExecutionTrace) -> Table:
-        fragment = dispatch_plan.fragment(fragment_id)
-        node = self._node_for(fragment.subject)
+    def _open_and_record(self, context: _RunContext, fragment: SubQuery,
+                         node: SubjectNode) -> SubQueryPayload:
         payload = open_envelope(
-            envelopes[fragment_id], node.rsa_private,
-            self.nodes[self.user].rsa_public,
+            context.envelopes[fragment.fragment_id], node.rsa_private,
+            context.user_node.rsa_public,
         )
-        trace.fragments_run.append((fragment_id, fragment.subject))
-        view = augment_view(self.policy.view(fragment.subject),
-                            self._lineage)
+        with context.trace_lock:
+            context.trace.fragments_run.append(
+                (fragment.fragment_id, fragment.subject))
+        return payload
 
-        # Pull the inputs produced by other subjects.
-        inputs: dict[int, Table] = {}
-        for boundary_id, child_fragment_id in fragment.requests.items():
-            table = self._run_fragment(
-                dispatch_plan, child_fragment_id, envelopes, profiles, trace
+    def _receive_input(self, context: _RunContext, fragment: SubQuery,
+                       view: SubjectView, table: Table) -> None:
+        with context.trace_lock:
+            context.trace.messages += 1
+            context.trace.rows_transferred += len(table)
+        if self.enforce and not fragment.subject.startswith("authority:"):
+            self._check_values(view, table, context.trace,
+                               context.trace_lock)
+
+    def _evaluate_fragment(self, context: _RunContext, fragment: SubQuery,
+                           node: SubjectNode, payload: SubQueryPayload,
+                           view: SubjectView,
+                           inputs: dict[int, Table]) -> Table:
+        """Evaluate one fragment, reusing a memoized whole-fragment result.
+
+        The memo key ties the result to everything it can depend on: the
+        fragment's root node (identity — stable across repeated queries
+        served from the assignment cache), the executing subject, the
+        delivered key material, the policy version (a ``grant``/``revoke``
+        must re-run enforcement), the enforcement flag, and the identity
+        of every input table (a recomputed input produces a fresh object
+        and therefore a miss).
+        """
+        signature = keystore_signature(payload.keystore)
+        cache_key = (
+            id(fragment.root), fragment.subject, signature,
+            self.policy.version, self.enforce,
+            tuple(sorted((b, id(t)) for b, t in inputs.items())),
+        )
+        with self._caches_guard:
+            cached = self._fragment_cache.get(cache_key)
+            if cached is not None:
+                self._fragment_cache.move_to_end(cache_key)
+        if cached is not None:
+            with context.trace_lock:
+                context.trace.fragment_cache_hits += 1
+            return cached[0]
+        if node.latency_seconds:
+            time.sleep(node.latency_seconds)
+        executor = self._executor_for(node, fragment.subject, payload,
+                                      signature, context)
+        result = self._evaluate(context, fragment, fragment.root, executor,
+                                inputs, view)
+        with self._caches_guard:
+            # The key holds id()s of the root node and the input tables;
+            # the entry pins those objects so the ids cannot be recycled
+            # into different objects while the entry exists.
+            self._fragment_cache[cache_key] = (
+                result, fragment.root, tuple(inputs.values()),
             )
-            trace.messages += 1
-            trace.rows_transferred += len(table)
-            if self.enforce and not fragment.subject.startswith("authority:"):
-                self._check_values(view, table, trace)
-            inputs[boundary_id] = table
-
-        executor = Executor(
-            node.tables, keystore=payload.keystore, udfs=node.udfs,
-            constant_keystore=getattr(self, "_constant_store", None),
-        )
-        result = self._evaluate(fragment, fragment.root, executor, inputs,
-                                profiles, view, trace)
+            self._fragment_cache.move_to_end(cache_key)
+            while len(self._fragment_cache) > _FRAGMENT_CACHE_LIMIT:
+                self._fragment_cache.popitem(last=False)
         return result
 
-    def _evaluate(self, fragment: SubQuery, node: PlanNode,
-                  executor: Executor, inputs: dict[int, Table],
-                  profiles: Mapping[PlanNode, object],
-                  view: SubjectView, trace: ExecutionTrace) -> Table:
+    def _evaluate(self, context: _RunContext, fragment: SubQuery,
+                  node: PlanNode, executor: Executor,
+                  inputs: dict[int, Table], view: SubjectView) -> Table:
         if id(node) in inputs:
             return inputs[id(node)]
-        children = [
-            self._evaluate(fragment, child, executor, inputs, profiles,
-                           view, trace)
-            for child in node.children
-        ]
-        result = executor.execute_node(node, children)
+        result = executor.lookup(node)
+        if result is None:
+            children = [
+                self._evaluate(context, fragment, child, executor, inputs,
+                               view)
+                for child in node.children
+            ]
+            result = executor.execute_node(node, children)
+            executor.memoize(node, result)
         if self.enforce and not isinstance(node, BaseRelationNode) \
                 and not fragment.subject.startswith("authority:"):
             self._check_profile(
-                view, profiles[node], f"relation at {node.label()}", trace
+                view, context.profiles[node],
+                f"relation at {node.label()}", context.trace,
+                context.trace_lock,
             )
         return result
+
+    def _executor_for(self, node: SubjectNode, subject: str,
+                      payload: SubQueryPayload, signature: str,
+                      context: _RunContext) -> Executor:
+        """A persistent executor for (subject, delivered key material).
+
+        Keyed by the *value* of the key material (not object identity):
+        envelopes deliver fresh deserialized stores every run, and an
+        executor must keep its memoized results when the keys are the
+        same.  The per-subject lock serializes all use of any one
+        subject's executors.
+        """
+        key = (subject, signature, context.constant_store_signature)
+        with self._caches_guard:
+            executor = self._executors.get(key)
+            if executor is not None:
+                self._executors.move_to_end(key)
+                return executor
+        executor = Executor(
+            node.tables, keystore=payload.keystore, udfs=node.udfs,
+            constant_keystore=context.constant_store,
+            cache_size=self.executor_cache_size,
+            cache_bytes=self.executor_cache_bytes,
+        )
+        with self._caches_guard:
+            self._executors[key] = executor
+            self._executors.move_to_end(key)
+            while len(self._executors) > _EXECUTOR_POOL_LIMIT:
+                self._executors.popitem(last=False)
+        return executor
 
     # ------------------------------------------------------------------
     # Enforcement
@@ -212,11 +493,24 @@ class DistributedRuntime:
             raise DispatchError(f"no runtime node for subject {subject!r}")
         return self.nodes[subject]
 
+    def _lock_for(self, subject: str) -> threading.Lock:
+        with self._locks_guard:
+            lock = self._subject_locks.get(subject)
+            if lock is None:
+                lock = threading.Lock()
+                self._subject_locks[subject] = lock
+            return lock
+
     def _check_profile(self, view: SubjectView, profile, context: str,
-                       trace: ExecutionTrace) -> None:
+                       trace: ExecutionTrace,
+                       trace_lock: threading.Lock | None = None) -> None:
         check = check_relation(view, profile)
         if not check.authorized:
-            trace.violations.extend(check.violations)
+            if trace_lock is None:
+                trace.violations.extend(check.violations)
+            else:
+                with trace_lock:
+                    trace.violations.extend(check.violations)
             raise UnauthorizedError(
                 f"{view.subject} is not authorized for {context}: "
                 + "; ".join(check.violations),
@@ -225,7 +519,8 @@ class DistributedRuntime:
             )
 
     def _check_values(self, view: SubjectView, table: Table,
-                      trace: ExecutionTrace) -> None:
+                      trace: ExecutionTrace,
+                      trace_lock: threading.Lock | None = None) -> None:
         """Value-level guard: representations must match authorizations."""
         for column in table.columns:
             values = table.column_values(column)
@@ -236,29 +531,79 @@ class DistributedRuntime:
                 if not view.can_view_encrypted(column):
                     message = (f"{view.subject} received encrypted column "
                                f"{column} without any authorization")
-                    trace.violations.append(message)
+                    self._record_violation(trace, trace_lock, message)
                     raise UnauthorizedError(message, subject=view.subject)
             else:
                 if not view.can_view_plaintext(column):
                     message = (f"{view.subject} received plaintext column "
                                f"{column} without plaintext authorization")
-                    trace.violations.append(message)
+                    self._record_violation(trace, trace_lock, message)
                     raise UnauthorizedError(message, subject=view.subject)
+
+    @staticmethod
+    def _record_violation(trace: ExecutionTrace,
+                          trace_lock: threading.Lock | None,
+                          message: str) -> None:
+        if trace_lock is None:
+            trace.violations.append(message)
+        else:
+            with trace_lock:
+                trace.violations.append(message)
+
+
+def _check_schedule(schedule: str) -> str:
+    if schedule not in ("parallel", "sequential"):
+        raise DispatchError(f"unknown schedule {schedule!r}")
+    return schedule
+
+
+def generate_subject_keys(
+    subjects: list[Subject] | list[str], rsa_bits: int = 512,
+) -> dict[str, tuple[RsaPublicKey, RsaPrivateKey]]:
+    """One RSA keypair per subject, generated once for reuse.
+
+    Long-lived deployments (the service layer, repeated-query benchmarks)
+    pass the result to :func:`build_runtime` via ``rsa_keys`` so node
+    construction stops paying keygen per query run.
+    """
+    names = [s.name if isinstance(s, Subject) else s for s in subjects]
+    return {name: generate_keypair(rsa_bits) for name in names}
 
 
 def build_runtime(policy: Policy, subjects: list[Subject],
                   authority_tables: Mapping[str, Mapping[str, Table]],
                   user: str,
                   udfs: Mapping[str, UdfCallable] | None = None,
-                  rsa_bits: int = 512) -> DistributedRuntime:
+                  rsa_bits: int = 512,
+                  rsa_keys: Mapping[
+                      str, tuple[RsaPublicKey, RsaPrivateKey]] | None = None,
+                  schedule: str = "parallel",
+                  max_workers: int | None = None,
+                  latency_seconds: float | Mapping[str, float] = 0.0,
+                  executor_cache_size: int = 128,
+                  executor_cache_bytes: int | None = None,
+                  ) -> DistributedRuntime:
     """Convenience constructor: one node per subject, tables at owners.
 
-    ``authority_tables`` maps authority name → {relation name → table}.
+    ``authority_tables`` maps authority name → {relation name → table};
+    ``rsa_keys`` (subject name → keypair) skips per-node key generation;
+    ``latency_seconds`` — one float for every subject or a per-subject
+    mapping — simulates provider round-trip delay per fragment.
     """
     nodes: dict[str, SubjectNode] = {}
     for subject in subjects:
         tables = authority_tables.get(subject.name, {})
+        if isinstance(latency_seconds, Mapping):
+            latency = latency_seconds.get(subject.name, 0.0)
+        else:
+            latency = latency_seconds
         nodes[subject.name] = SubjectNode.create(
-            subject, tables=tables, udfs=udfs, rsa_bits=rsa_bits
+            subject, tables=tables, udfs=udfs, rsa_bits=rsa_bits,
+            rsa_keys=(rsa_keys or {}).get(subject.name),
+            latency_seconds=latency,
         )
-    return DistributedRuntime(policy, nodes, user)
+    return DistributedRuntime(
+        policy, nodes, user, schedule=schedule, max_workers=max_workers,
+        executor_cache_size=executor_cache_size,
+        executor_cache_bytes=executor_cache_bytes,
+    )

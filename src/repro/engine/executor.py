@@ -90,6 +90,17 @@ class Executor:
         ones.  Entries are fully materialized tables, so for one-shot
         executions over large data prefer a small capacity (or 0) over
         the default.
+    cache_bytes:
+        Byte budget for the result cache, measured with
+        :meth:`~repro.engine.table.Table.estimated_bytes`.  ``None``
+        (the default) keeps the entry-count LRU behaviour of
+        ``cache_size``; a positive budget makes eviction byte-driven
+        instead (the entry count is then unbounded: ``cache_size`` stays
+        accepted for backward compatibility, and ``cache_size=0`` still
+        disables caching), and a table larger than the whole budget is
+        never cached at all; ``0`` disables the cache entirely.  The
+        long-lived executors of the service layer use this so large
+        catalogs cannot pin unbounded memory.
     """
 
     def __init__(self, catalog: Mapping[str, Table],
@@ -97,8 +108,14 @@ class Executor:
                  udfs: Mapping[str, UdfCallable] | None = None,
                  constant_keystore: KeyStore | None = None,
                  join_strategy: str = "hash",
-                 cache_size: int = 128) -> None:
+                 cache_size: int = 128,
+                 cache_bytes: int | None = None) -> None:
         self._cache_capacity = max(0, cache_size)
+        self._cache_byte_budget = (None if cache_bytes is None
+                                   else max(0, cache_bytes))
+        if self._cache_byte_budget == 0:
+            self._cache_capacity = 0
+        self._cache_bytes_used = 0
         self._cache: OrderedDict[PlanNode, Table] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
@@ -186,20 +203,53 @@ class Executor:
         return self._execute(node)
 
     def _execute(self, node: PlanNode) -> Table:
-        if self._cache_capacity:
-            cached = self._cache.get(node)
-            if cached is not None:
-                self._cache.move_to_end(node)
-                self.cache_hits += 1
-                return cached
+        cached = self.lookup(node)
+        if cached is not None:
+            return cached
         children = [self._execute(child) for child in node.children]
         result = self.execute_node(node, children)
-        if self._cache_capacity:
-            self.cache_misses += 1
+        self.memoize(node, result)
+        return result
+
+    def lookup(self, node: PlanNode) -> Table | None:
+        """The memoized result for ``node``, or ``None`` (counts a hit)."""
+        if not self._cache_capacity:
+            return None
+        cached = self._cache.get(node)
+        if cached is None:
+            return None
+        self._cache.move_to_end(node)
+        self.cache_hits += 1
+        return cached
+
+    def memoize(self, node: PlanNode, result: Table) -> None:
+        """Store one subtree result, evicting LRU entries past budget.
+
+        With a byte budget the table's estimated footprint drives
+        eviction; entries larger than the whole budget are skipped so a
+        single huge intermediate cannot flush the entire cache.
+        """
+        if not self._cache_capacity:
+            return
+        self.cache_misses += 1
+        budget = self._cache_byte_budget
+        if budget is None:
             self._cache[node] = result
             while len(self._cache) > self._cache_capacity:
                 self._cache.popitem(last=False)
-        return result
+            return
+        size = result.estimated_bytes()
+        if size > budget:
+            return
+        previous = self._cache.get(node)
+        if previous is not None:
+            self._cache_bytes_used -= previous.estimated_bytes()
+        self._cache_bytes_used += size
+        self._cache[node] = result
+        self._cache.move_to_end(node)
+        while self._cache_bytes_used > budget:
+            _, evicted = self._cache.popitem(last=False)
+            self._cache_bytes_used -= evicted.estimated_bytes()
 
     def execute_node(self, node: PlanNode, children: list[Table]) -> Table:
         """Evaluate one operator over already materialized operands."""
@@ -226,14 +276,17 @@ class Executor:
     def clear_cache(self) -> None:
         """Drop all memoized subtree results (after catalog changes)."""
         self._cache.clear()
+        self._cache_bytes_used = 0
 
-    def cache_info(self) -> dict[str, int]:
+    def cache_info(self) -> dict[str, int | None]:
         """Hit/miss/size counters of the subtree result cache."""
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
             "size": len(self._cache),
             "capacity": self._cache_capacity,
+            "bytes": self._cache_bytes_used,
+            "capacity_bytes": self._cache_byte_budget,
         }
 
     # ------------------------------------------------------------------

@@ -1,0 +1,22 @@
+"""Workload service layer: SQL in, authorized distributed results out.
+
+:class:`QueryService` owns the state the §6 pipeline can share across
+queries (parser plans, assignment cache, per-subject RSA keys and
+executors, distributed key material) and drives each SQL query through
+parse → authorize/assign → minimally-extend → dispatch → concurrent
+runtime; :class:`WorkloadSession` scopes a stream of such queries to one
+user.
+"""
+
+from repro.service.workload import (
+    DEFAULT_EXECUTOR_CACHE_BYTES,
+    QueryOutcome,
+    QueryService,
+    SessionStats,
+    WorkloadSession,
+)
+
+__all__ = [
+    "DEFAULT_EXECUTOR_CACHE_BYTES", "QueryOutcome", "QueryService",
+    "SessionStats", "WorkloadSession",
+]

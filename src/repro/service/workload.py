@@ -1,0 +1,345 @@
+"""End-to-end workload execution service.
+
+The ROADMAP's north-star workload — the same queries, from many users,
+against a stable policy — pays the whole §6 pipeline per request when
+every caller hand-wires parse → authorize → extend → dispatch → execute.
+:class:`QueryService` owns the long-lived state the pipeline can share
+across queries and drives SQL text through it end to end:
+
+* a **plan cache** (via :func:`repro.sql.planner.plan_query`'s ``cache``)
+  returning identity-stable plans for repeated SQL text;
+* the policy-versioned
+  :class:`~repro.core.plancache.AssignmentCache` memoising full
+  assignment results (PR 2), which identity-stable plans short-circuit;
+* memoised **dispatch plans** and **distributed key material** per cached
+  assignment, so repeated queries stop paying fragment rendering and
+  Paillier/symmetric keygen;
+* one persistent :class:`~repro.distributed.DistributedRuntime` whose
+  per-subject RSA keypairs are generated once, whose per-subject
+  executors keep byte-bounded result caches across queries, and whose
+  scheduler runs independent fragments concurrently.
+
+:class:`WorkloadSession` is the per-user view: it fixes the querying
+user, runs SQL, and accumulates the session's cache-hit statistics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.assignment import AssignmentResult, assign
+from repro.core.authorization import Policy, Subject
+from repro.core.dispatch import DispatchPlan, dispatch
+from repro.core.plancache import AssignmentCache
+from repro.core.schema import Schema
+from repro.cost.network import NetworkTopology
+from repro.cost.pricing import PriceList
+from repro.crypto.keymanager import DistributedKeys
+from repro.distributed.runtime import (
+    ExecutionTrace,
+    build_runtime,
+    generate_subject_keys,
+)
+from repro.engine.executor import UdfCallable
+from repro.engine.table import Table
+from repro.exceptions import DispatchError
+from repro.sql.planner import plan_query
+
+#: Default byte budget for each persistent per-subject executor cache.
+DEFAULT_EXECUTOR_CACHE_BYTES = 32 * 1024 * 1024
+
+#: Entries kept in the plan/dispatch-plan/distributed-key memos.
+_MEMO_LIMIT = 256
+
+
+class _BoundedCache(OrderedDict):
+    """An insertion-bounded mapping for the service's long-lived memos.
+
+    Evicts the oldest entry beyond ``limit`` — a service receiving many
+    distinct SQL texts (inlined literal parameters, ad-hoc queries) must
+    not grow without bound.
+    """
+
+    def __init__(self, limit: int = _MEMO_LIMIT) -> None:
+        super().__init__()
+        self._limit = limit
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        while len(self) > self._limit:
+            self.popitem(last=False)
+
+
+@dataclass
+class QueryOutcome:
+    """One executed query: its result plus the per-query trace."""
+
+    sql: str
+    user: str
+    result: Table
+    trace: ExecutionTrace
+    wall_seconds: float
+    cost_usd: float
+    plan_cached: bool
+    assignment_cached: bool
+    keys_reused: bool
+    assignment: AssignmentResult
+
+    def describe(self) -> str:
+        """One human-readable line per query (the workload CLI output)."""
+        flags = "".join((
+            "p" if self.plan_cached else "-",
+            "a" if self.assignment_cached else "-",
+            "k" if self.keys_reused else "-",
+        ))
+        return (
+            f"{self.user}: {len(self.result)} rows in "
+            f"{self.wall_seconds * 1000:.1f} ms "
+            f"[{self.trace.schedule}, {len(self.trace.fragments_run)} "
+            f"fragments, {self.trace.fragment_cache_hits} cached, "
+            f"caches={flags}, ${self.cost_usd:.6f}]"
+        )
+
+
+@dataclass
+class SessionStats:
+    """Aggregated counters for one :class:`WorkloadSession`."""
+
+    queries: int = 0
+    wall_seconds: float = 0.0
+    rows_returned: int = 0
+    plan_cache_hits: int = 0
+    assignment_cache_hits: int = 0
+    fragment_cache_hits: int = 0
+    fragments_run: int = 0
+
+    def observe(self, outcome: QueryOutcome) -> None:
+        self.queries += 1
+        self.wall_seconds += outcome.wall_seconds
+        self.rows_returned += len(outcome.result)
+        self.plan_cache_hits += int(outcome.plan_cached)
+        self.assignment_cache_hits += int(outcome.assignment_cached)
+        self.fragment_cache_hits += outcome.trace.fragment_cache_hits
+        self.fragments_run += len(outcome.trace.fragments_run)
+
+    def describe(self) -> str:
+        return (
+            f"{self.queries} queries, {self.rows_returned} rows, "
+            f"{self.wall_seconds * 1000:.1f} ms total; cache hits: "
+            f"{self.plan_cache_hits} plan, "
+            f"{self.assignment_cache_hits} assignment, "
+            f"{self.fragment_cache_hits}/{self.fragments_run} fragments"
+        )
+
+
+class QueryService:
+    """Long-lived front end running SQL workloads across providers.
+
+    Parameters mirror the hand-wired pipeline: a schema, a policy, the
+    participating subjects, the relation owners, and the authorities'
+    stored tables.  Prices default to
+    :meth:`~repro.cost.pricing.PriceList.from_subjects`.  See
+    ``examples/workload_service.py`` for a complete walkthrough and
+    ``python -m repro workload`` for a runnable multi-user demo.
+    """
+
+    def __init__(self, schema: Schema, policy: Policy,
+                 subjects: tuple[Subject, ...] | list[Subject],
+                 owners: Mapping[str, str],
+                 authority_tables: Mapping[str, Mapping[str, Table]],
+                 user: str = "U",
+                 prices: PriceList | None = None,
+                 topology: NetworkTopology | None = None,
+                 udfs: Mapping[str, UdfCallable] | None = None,
+                 rsa_bits: int = 512,
+                 schedule: str = "parallel",
+                 max_workers: int | None = None,
+                 assignment_cache_size: int = 256,
+                 executor_cache_size: int = 128,
+                 executor_cache_bytes: int | None
+                 = DEFAULT_EXECUTOR_CACHE_BYTES,
+                 latency_seconds: float | Mapping[str, float] = 0.0,
+                 ) -> None:
+        self.schema = schema
+        self.policy = policy
+        self.subjects = tuple(subjects)
+        self.subject_names = tuple(s.name for s in self.subjects)
+        self.owners = dict(owners)
+        self.user = user
+        self.prices = prices or PriceList.from_subjects(self.subjects)
+        self.topology = topology or NetworkTopology.paper_defaults(user)
+        self.assignment_cache = AssignmentCache(
+            maxsize=assignment_cache_size)
+        # Per-subject RSA keypairs are generated exactly once, here.
+        self.rsa_keys = generate_subject_keys(list(self.subjects),
+                                              rsa_bits=rsa_bits)
+        self.runtime = build_runtime(
+            policy, list(self.subjects), authority_tables, user,
+            udfs=udfs, rsa_keys=self.rsa_keys, schedule=schedule,
+            max_workers=max_workers, latency_seconds=latency_seconds,
+            executor_cache_size=executor_cache_size,
+            executor_cache_bytes=executor_cache_bytes,
+        )
+        #: (sql, id(schema)) → (plan, pinned schema); see plan_query.
+        self._plan_cache: _BoundedCache = _BoundedCache()
+        #: id(extended), user → (dispatch plan, pinned extended plan).
+        self._dispatch_memo: _BoundedCache = _BoundedCache()
+        #: id(keys) → (distributed material, pinned key assignment).
+        self._keys_memo: _BoundedCache = _BoundedCache()
+        self._lock = threading.Lock()
+        self.total_stats = SessionStats()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, user: str | None = None,
+                schedule: str | None = None) -> QueryOutcome:
+        """Run one SQL query end to end for ``user``.
+
+        Raises :class:`~repro.exceptions.UnauthorizedError` when the
+        user may not receive the result,
+        :class:`~repro.exceptions.NoCandidateError` when some operation
+        has no authorized assignee, and the usual SQL analysis errors.
+        """
+        user = user or self.user
+        started = time.perf_counter()
+        with self._lock:
+            plan_cached = (sql, id(self.schema)) in self._plan_cache
+            plan = plan_query(sql, self.schema, cache=self._plan_cache)
+            hits_before = self.assignment_cache.info()["hits"]
+            outcome = assign(
+                plan, self.policy, self.subject_names, self.prices,
+                user=user, owners=self.owners, topology=self.topology,
+                cache=self.assignment_cache,
+            )
+            assignment_cached = (
+                self.assignment_cache.info()["hits"] > hits_before
+            )
+            distributed, keys_reused = self._distributed_keys(outcome)
+            dispatch_plan = self._dispatch_plan(outcome, user)
+        result, trace = self.runtime.run(
+            dispatch_plan, outcome.extended, outcome.keys, distributed,
+            user=user, schedule=schedule,
+        )
+        wall = time.perf_counter() - started
+        executed = QueryOutcome(
+            sql=sql,
+            user=user,
+            result=result,
+            trace=trace,
+            wall_seconds=wall,
+            cost_usd=outcome.cost.total_usd,
+            plan_cached=plan_cached,
+            assignment_cached=assignment_cached,
+            keys_reused=keys_reused,
+            assignment=outcome,
+        )
+        with self._lock:
+            self.total_stats.observe(executed)
+        return executed
+
+    def session(self, user: str | None = None) -> "WorkloadSession":
+        """A per-user session over this service's shared caches."""
+        return WorkloadSession(self, user or self.user)
+
+    # ------------------------------------------------------------------
+    # Shared-state management
+    # ------------------------------------------------------------------
+    def refresh_tables(
+        self, authority_tables: Mapping[str, Mapping[str, Table]],
+    ) -> None:
+        """Replace some authorities' stored tables and drop stale caches.
+
+        Executors snapshot the catalog they were built over and fragment
+        results memoise their outputs, so data changes must go through
+        here (or call ``runtime.invalidate_caches()`` after mutating a
+        node's ``tables`` directly).
+        """
+        for subject, tables in authority_tables.items():
+            if subject not in self.runtime.nodes:
+                raise DispatchError(
+                    f"no runtime node for subject {subject!r}")
+            self.runtime.nodes[subject].tables = dict(tables)
+        self.runtime.invalidate_caches()
+
+    def cache_info(self) -> dict[str, object]:
+        """All cache counters: plans, assignments, executors, fragments."""
+        info: dict[str, object] = {
+            "plans": len(self._plan_cache),
+            "assignment": self.assignment_cache.info(),
+        }
+        info.update(self.runtime.cache_info())
+        return info
+
+    def describe(self) -> str:
+        """Service-level summary across every query it has run."""
+        info = self.cache_info()
+        assignment = info["assignment"]
+        return (
+            f"service totals: {self.total_stats.describe()}\n"
+            f"caches: {info['plans']} plans; assignment "
+            f"{assignment['hits']}h/{assignment['misses']}m; "
+            f"{info['executors']} executors "
+            f"({info['executor_hits']}h/{info['executor_misses']}m); "
+            f"{info['fragment_entries']} fragment results"
+        )
+
+    # ------------------------------------------------------------------
+    # Memoised per-assignment artifacts
+    # ------------------------------------------------------------------
+    def _distributed_keys(
+        self, outcome: AssignmentResult,
+    ) -> tuple[DistributedKeys, bool]:
+        """Key material per assignment, generated once and redistributed.
+
+        Keyed by the :class:`~repro.core.keys.KeyAssignment`'s identity —
+        cache-served assignments share it, so repeated queries reuse the
+        same Paillier/symmetric material instead of regenerating it (the
+        entry pins the assignment so the id stays valid).
+        """
+        memo_key = id(outcome.keys)
+        entry = self._keys_memo.get(memo_key)
+        if entry is not None:
+            self._keys_memo.move_to_end(memo_key)
+            return entry[0], True
+        distributed = DistributedKeys.from_assignment(outcome.keys)
+        self._keys_memo[memo_key] = (distributed, outcome.keys)
+        return distributed, False
+
+    def _dispatch_plan(self, outcome: AssignmentResult,
+                       user: str) -> DispatchPlan:
+        """Fragment partitioning per (assignment, user), memoised."""
+        memo_key = (id(outcome.extended), user)
+        entry = self._dispatch_memo.get(memo_key)
+        if entry is not None:
+            self._dispatch_memo.move_to_end(memo_key)
+            return entry[0]
+        plan = dispatch(outcome.extended, outcome.keys,
+                        owners=self.owners, user=user)
+        self._dispatch_memo[memo_key] = (plan, outcome.extended)
+        return plan
+
+
+@dataclass
+class WorkloadSession:
+    """One user's stream of queries over a shared :class:`QueryService`."""
+
+    service: QueryService
+    user: str
+    outcomes: list[QueryOutcome] = field(default_factory=list)
+    stats: SessionStats = field(default_factory=SessionStats)
+
+    def run(self, sql: str, schedule: str | None = None) -> QueryOutcome:
+        """Execute ``sql`` as this session's user and record the stats."""
+        outcome = self.service.execute(sql, user=self.user,
+                                       schedule=schedule)
+        self.outcomes.append(outcome)
+        self.stats.observe(outcome)
+        return outcome
+
+    def describe(self) -> str:
+        return f"session {self.user}: {self.stats.describe()}"

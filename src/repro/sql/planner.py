@@ -11,6 +11,7 @@ pipeline (profiles → candidates → extension) consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import MutableMapping
 
 from repro.core.operators import (
     Aggregate,
@@ -42,8 +43,20 @@ from repro.sql.ast import (
 from repro.sql.parser import parse_sql
 
 
-def plan_query(query: SelectQuery | str, schema: Schema) -> QueryPlan:
+def plan_query(query: SelectQuery | str, schema: Schema,
+               cache: MutableMapping[tuple[str, int],
+                                     tuple[QueryPlan, Schema]] | None
+               = None) -> QueryPlan:
     """Build the query plan for ``query`` against ``schema``.
+
+    ``cache`` (keyed by the SQL text and the schema's identity) memoises
+    whole plans for repeated queries: returning the *same* plan object —
+    not merely an equal one — lets every identity-keyed layer downstream
+    (assignment cache short-circuit, executor subtree memos, fragment
+    reuse) hit as well.  Entries store ``(plan, schema)``: pinning the
+    schema keeps its ``id`` from being recycled onto a different schema
+    while the entry lives.  Only usable with string queries; callers
+    must treat cached plans as immutable.
 
     Examples
     --------
@@ -56,6 +69,14 @@ def plan_query(query: SelectQuery | str, schema: Schema) -> QueryPlan:
     'σ[P>100]'
     """
     if isinstance(query, str):
+        if cache is not None:
+            key = (query, id(schema))
+            entry = cache.get(key)
+            if entry is None:
+                entry = (_Planner(parse_sql(query), schema).build(),
+                         schema)
+                cache[key] = entry
+            return entry[0]
         query = parse_sql(query)
     return _Planner(query, schema).build()
 

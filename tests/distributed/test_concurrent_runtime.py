@@ -1,0 +1,385 @@
+"""The concurrent fragment scheduler: dependency graph, equivalence with
+the sequential reference, enforcement under concurrency, and the
+cross-run fragment/executor caches."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.authorization import Authorization, Policy, Subject, \
+    SubjectKind
+from repro.core.dispatch import DispatchPlan, SubQuery, dispatch
+from repro.core.extension import minimally_extend
+from repro.core.keys import establish_keys
+from repro.core.operators import BaseRelationNode, Join, Selection
+from repro.core.plan import QueryPlan
+from repro.core.predicates import (
+    AttributeValuePredicate,
+    ComparisonOp,
+    equals,
+)
+from repro.core.schema import Relation, Schema
+from repro.cost.pricing import PriceList
+from repro.core.assignment import assign
+from repro.crypto.keymanager import DistributedKeys
+from repro.distributed import build_runtime, generate_subject_keys
+from repro.distributed import runtime as runtime_module
+from repro.engine import Executor, Table
+from repro.exceptions import CryptoError, DispatchError, UnauthorizedError
+from repro.tpch import TPCH_UDFS, all_scenarios, build_tpch_schema, \
+    generate, query_plan
+from repro.tpch.schema import table_owners
+
+
+def pipeline_7a(example, example_tables, schedule="parallel",
+                rsa_keys=None):
+    """The Figure 7(a) pipeline, returning (runtime, run-callable)."""
+    extended = minimally_extend(
+        example.plan, example.policy, example.assignment_7a(),
+        owners=example.owners,
+    )
+    keys = establish_keys(extended, example.policy)
+    plan = dispatch(extended, keys, owners=example.owners, user="U")
+    runtime = build_runtime(
+        example.policy, list(example.subjects),
+        {"H": {"Hosp": example_tables["Hosp"]},
+         "I": {"Ins": example_tables["Ins"]}},
+        user="U", schedule=schedule, rsa_keys=rsa_keys,
+    )
+    distributed = DistributedKeys.from_assignment(keys)
+
+    def run(**kwargs):
+        return runtime.run(plan, extended, keys, distributed, **kwargs)
+
+    return runtime, run
+
+
+class TestDependencyGraph:
+    def dispatch_7a(self, example):
+        extended = minimally_extend(
+            example.plan, example.policy, example.assignment_7a(),
+            owners=example.owners,
+        )
+        keys = establish_keys(extended, example.policy)
+        return dispatch(extended, keys, owners=example.owners, user="U")
+
+    def test_dependencies_and_dependents(self, example):
+        plan = self.dispatch_7a(example)
+        dependencies = plan.dependencies()
+        assert sorted(dependencies["reqX"]) == ["reqH", "reqI"]
+        assert dependencies["reqY"] == ("reqX",)
+        assert dependencies["reqH"] == ()
+        dependents = plan.dependents()
+        assert dependents["reqH"] == ("reqX",)
+        assert dependents["reqY"] == ()
+
+    def test_execution_levels(self, example):
+        plan = self.dispatch_7a(example)
+        assert plan.execution_levels() == (
+            ("reqH", "reqI"), ("reqX",), ("reqY",),
+        )
+
+    def test_cycle_detected(self):
+        leaf = BaseRelationNode(Relation("R", ["a"], cardinality=1))
+        a = SubQuery("a", "S", leaf, (leaf,), requests={1: "b"})
+        b = SubQuery("b", "S", leaf, (leaf,), requests={2: "a"})
+        plan = DispatchPlan(fragments={"a": a, "b": b},
+                            root_fragment_id="a", user="U")
+        with pytest.raises(DispatchError, match="cycle"):
+            plan.execution_levels()
+
+    def test_unknown_request_target(self):
+        leaf = BaseRelationNode(Relation("R", ["a"], cardinality=1))
+        a = SubQuery("a", "S", leaf, (leaf,), requests={1: "ghost"})
+        plan = DispatchPlan(fragments={"a": a},
+                            root_fragment_id="a", user="U")
+        with pytest.raises(DispatchError, match="unknown"):
+            plan.dependents()
+
+
+class TestScheduleEquivalence:
+    def test_parallel_matches_sequential_running_example(
+            self, example, example_tables):
+        _, run_par = pipeline_7a(example, example_tables, "parallel")
+        _, run_seq = pipeline_7a(example, example_tables, "sequential")
+        parallel, trace_par = run_par()
+        sequential, trace_seq = run_seq()
+        # Identical tables — including row order, not just content.
+        assert parallel.columns == sequential.columns
+        assert parallel.rows == sequential.rows
+        assert trace_par.messages == trace_seq.messages
+        assert sorted(trace_par.fragments_run) == \
+            sorted(trace_seq.fragments_run)
+
+    def test_per_run_schedule_override(self, example, example_tables):
+        runtime, run = pipeline_7a(example, example_tables, "parallel")
+        result, trace = run(schedule="sequential")
+        assert trace.schedule == "sequential"
+        assert [f for f, _ in trace.fragments_run] == [
+            "reqY", "reqX", "reqH", "reqI",
+        ]
+        with pytest.raises(DispatchError):
+            run(schedule="zigzag")
+
+    @pytest.mark.parametrize("number", [3, 5, 18])
+    def test_tpch_parallel_matches_sequential_and_plaintext(self, number):
+        scale = 0.002
+        schema = build_tpch_schema(scale)
+        data = generate(scale=scale, seed=7)
+        scenario_obj = all_scenarios(schema)["UAPenc"]
+        plan = query_plan(number, schema)
+        prices = PriceList.from_subjects(scenario_obj.subjects)
+        outcome = assign(plan, scenario_obj.policy,
+                         scenario_obj.subject_names, prices,
+                         user=scenario_obj.user,
+                         owners=scenario_obj.owners)
+        keys = establish_keys(outcome.extended, scenario_obj.policy)
+        dispatch_plan = dispatch(outcome.extended, keys,
+                                 owners=scenario_obj.owners, user="U")
+        authority_tables = {"A1": {}, "A2": {}}
+        for name, owner in table_owners().items():
+            authority_tables[owner][name] = data.table(name)
+        distributed = DistributedKeys.from_assignment(keys)
+        results = {}
+        for schedule in ("parallel", "sequential"):
+            runtime = build_runtime(
+                scenario_obj.policy, list(scenario_obj.subjects),
+                authority_tables, user="U", udfs=TPCH_UDFS,
+                schedule=schedule,
+            )
+            table, trace = runtime.run(dispatch_plan, outcome.extended,
+                                       keys, distributed)
+            assert not trace.violations
+            results[schedule] = table
+        assert results["parallel"].columns == \
+            results["sequential"].columns
+        assert results["parallel"].rows == results["sequential"].rows
+        plain = Executor(data.catalog(), udfs=TPCH_UDFS).execute(
+            query_plan(number, schema))
+        assert set(results["parallel"].columns) == set(plain.columns)
+        assert len(results["parallel"]) == len(plain)
+
+
+class TestEnforcementUnderConcurrency:
+    def test_flipped_envelope_bytes_rejected(self, example,
+                                             example_tables, monkeypatch):
+        original = runtime_module.seal_envelope
+        victims = []
+
+        def tampering_seal(payload, sender_private, recipient_public):
+            blob = original(payload, sender_private, recipient_public)
+            if payload.fragment_id == "reqX":
+                victims.append(payload.fragment_id)
+                blob = blob[:-1] + bytes([blob[-1] ^ 0x55])
+            return blob
+
+        monkeypatch.setattr(runtime_module, "seal_envelope",
+                            tampering_seal)
+        _, run = pipeline_7a(example, example_tables, "parallel")
+        # In-flight corruption breaks the hybrid encryption layer.
+        with pytest.raises((DispatchError, CryptoError)):
+            run()
+        assert victims == ["reqX"]
+
+    def test_spoofed_signature_rejected(self, example, example_tables,
+                                        monkeypatch):
+        from repro.crypto.rsa import generate_keypair
+
+        _, impostor_private = generate_keypair(512)
+        original = runtime_module.seal_envelope
+
+        def spoofing_seal(payload, sender_private, recipient_public):
+            if payload.fragment_id == "reqX":
+                sender_private = impostor_private
+            return original(payload, sender_private, recipient_public)
+
+        monkeypatch.setattr(runtime_module, "seal_envelope",
+                            spoofing_seal)
+        _, run = pipeline_7a(example, example_tables, "parallel")
+        # A payload signed by anyone but the user fails verification.
+        with pytest.raises(DispatchError, match="signature"):
+            run()
+
+    def test_unauthorized_profile_rejected_in_parallel(
+            self, example, example_tables):
+        bad = dict(example.assignment_7a())
+        bad[example.join] = "I"
+        extended = minimally_extend(
+            example.plan, example.policy, bad, owners=example.owners,
+            verify=False,
+        )
+        keys = establish_keys(extended, None)
+        plan = dispatch(extended, keys, owners=example.owners, user="U")
+        runtime = build_runtime(
+            example.policy, list(example.subjects),
+            {"H": {"Hosp": example_tables["Hosp"]},
+             "I": {"Ins": example_tables["Ins"]}},
+            user="U", schedule="parallel",
+        )
+        with pytest.raises(UnauthorizedError):
+            runtime.run(plan, extended, keys,
+                        DistributedKeys.from_assignment(keys))
+
+    def test_value_guard_fires_in_parallel(self, example, example_tables):
+        # Strip all encryption: X then receives plaintext S, C, P.
+        from repro.core.extension import ExtendedPlan
+
+        extended = minimally_extend(
+            example.plan, example.policy, example.assignment_7a(),
+            owners=example.owners,
+        )
+        stripped_plan = extended.plan.strip_crypto_nodes()
+        label_assign = {
+            node.label(): subject
+            for node, subject in extended.assignment.items()
+        }
+        new_assignment = {
+            node: label_assign[node.label()]
+            for node in stripped_plan.postorder()
+            if not node.is_leaf and node.label() in label_assign
+        }
+        stripped = ExtendedPlan(
+            plan=stripped_plan, original=example.plan,
+            assignment=new_assignment,
+            encrypted_attributes=frozenset(),
+        )
+        keys = establish_keys(stripped, None)
+        plan = dispatch(stripped, keys, owners=example.owners, user="U")
+        runtime = build_runtime(
+            example.policy, list(example.subjects),
+            {"H": {"Hosp": example_tables["Hosp"]},
+             "I": {"Ins": example_tables["Ins"]}},
+            user="U", schedule="parallel",
+        )
+        with pytest.raises(UnauthorizedError):
+            runtime.run(plan, stripped, keys,
+                        DistributedKeys.from_assignment(keys))
+
+
+class TestSubjectSerialization:
+    """Same-subject fragments never overlap; independent subjects do."""
+
+    def build_scenario(self):
+        schema = Schema()
+        r1 = schema.add(Relation("R1", ["a", "b"], cardinality=100))
+        r2 = schema.add(Relation("R2", ["c", "d"], cardinality=100))
+        policy = Policy(schema)
+        subjects = (
+            Subject("U", SubjectKind.USER),
+            Subject("A1", SubjectKind.AUTHORITY),
+            Subject("A2", SubjectKind.AUTHORITY),
+            Subject("P", SubjectKind.PROVIDER),
+        )
+        for relation, authority in ((r1, "A1"), (r2, "A2")):
+            names = relation.attribute_names
+            policy.grant(Authorization(relation, names, (), "U"))
+            policy.grant(Authorization(relation, names, (), authority))
+            policy.grant(Authorization(relation, names, (), "P"))
+        left = Selection(BaseRelationNode(r1),
+                         AttributeValuePredicate("b", ComparisonOp.GE, 0))
+        right = Selection(BaseRelationNode(r2),
+                          AttributeValuePredicate("d", ComparisonOp.GE, 0))
+        join = Join(left, right, equals("a", "c"))
+        plan = QueryPlan(join)
+        assignment = {left: "P", right: "P", join: "U"}
+        owners = {"R1": "A1", "R2": "A2"}
+        tables = {
+            "A1": {"R1": Table("R1", ("a", "b"),
+                               [(i, i) for i in range(4)])},
+            "A2": {"R2": Table("R2", ("c", "d"),
+                               [(i, i * 10) for i in range(4)])},
+        }
+        return (schema, policy, subjects, plan, assignment, owners,
+                tables)
+
+    def test_same_subject_fragments_serialize(self, monkeypatch):
+        (_, policy, subjects, plan, assignment, owners,
+         tables) = self.build_scenario()
+        extended = minimally_extend(plan, policy, assignment,
+                                    owners=owners, deliver_to="U")
+        keys = establish_keys(extended, policy)
+        dispatch_plan = dispatch(extended, keys, owners=owners, user="U")
+        by_subject = {}
+        for fragment in dispatch_plan.fragments.values():
+            by_subject.setdefault(fragment.subject, []).append(
+                fragment.fragment_id)
+        assert len(by_subject["P"]) == 2  # two sibling selections at P
+
+        runtime = build_runtime(
+            policy, list(subjects), tables, user="U",
+            schedule="parallel", latency_seconds=0.05,
+        )
+        intervals = []
+        intervals_lock = threading.Lock()
+        original = runtime_module.DistributedRuntime._evaluate_fragment
+
+        def recording(self, context, fragment, node, payload, view,
+                      inputs):
+            start = time.perf_counter()
+            try:
+                return original(self, context, fragment, node, payload,
+                                view, inputs)
+            finally:
+                with intervals_lock:
+                    intervals.append(
+                        (fragment.subject, start, time.perf_counter()))
+
+        monkeypatch.setattr(runtime_module.DistributedRuntime,
+                            "_evaluate_fragment", recording)
+        result, _ = runtime.run(dispatch_plan, extended, keys,
+                                DistributedKeys.from_assignment(keys))
+        assert len(result) == 4
+
+        def overlap(x, y):
+            return min(x[2], y[2]) - max(x[1], y[1]) > 0
+
+        same_p = [i for i in intervals if i[0] == "P"]
+        assert len(same_p) == 2
+        assert not overlap(*same_p)  # per-subject serialization
+        authorities = [i for i in intervals if i[0] in ("A1", "A2")]
+        assert overlap(*authorities)  # independent subjects do overlap
+
+
+class TestCrossRunCaches:
+    def test_second_run_hits_fragment_cache(self, example,
+                                            example_tables):
+        runtime, run = pipeline_7a(example, example_tables, "parallel")
+        first, trace_first = run()
+        assert trace_first.fragment_cache_hits == 0
+        second, trace_second = run()
+        assert second.rows == first.rows
+        assert trace_second.fragment_cache_hits == \
+            len(trace_second.fragments_run)
+
+    def test_policy_change_invalidates_fragment_cache(
+            self, example, example_tables):
+        runtime, run = pipeline_7a(example, example_tables, "parallel")
+        run()
+        # Z plays no role in 7(a), but any revoke bumps the version and
+        # must force every fragment to re-run its enforcement checks.
+        example.policy.revoke("Hosp", "Z")
+        _, trace = run()
+        assert trace.fragment_cache_hits == 0
+
+    def test_invalidate_caches_drops_everything(self, example,
+                                                example_tables):
+        runtime, run = pipeline_7a(example, example_tables, "parallel")
+        run()
+        assert runtime.cache_info()["fragment_entries"] > 0
+        runtime.invalidate_caches()
+        assert runtime.cache_info()["fragment_entries"] == 0
+        assert runtime.cache_info()["executors"] == 0
+        _, trace = run()
+        assert trace.fragment_cache_hits == 0
+
+    def test_pregenerated_rsa_keys_are_used(self, example,
+                                            example_tables):
+        rsa_keys = generate_subject_keys(list(example.subjects))
+        runtime, run = pipeline_7a(example, example_tables, "parallel",
+                                   rsa_keys=rsa_keys)
+        for name, (public, private) in rsa_keys.items():
+            assert runtime.nodes[name].rsa_public is public
+            assert runtime.nodes[name].rsa_private is private
+        result, _ = run()
+        assert result.sorted_rows() == [("tpa", 120.0)]

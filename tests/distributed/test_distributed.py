@@ -70,7 +70,8 @@ class TestMessages:
 
 
 class TestRuntime:
-    def run_7a(self, example, example_tables, enforce=True):
+    def run_7a(self, example, example_tables, enforce=True,
+               schedule="parallel"):
         extended = minimally_extend(
             example.plan, example.policy, example.assignment_7a(),
             owners=example.owners,
@@ -81,7 +82,7 @@ class TestRuntime:
             example.policy, list(example.subjects),
             {"H": {"Hosp": example_tables["Hosp"]},
              "I": {"Ins": example_tables["Ins"]}},
-            user="U",
+            user="U", schedule=schedule,
         )
         runtime.enforce = enforce
         return runtime.run(plan, extended, keys,
@@ -93,12 +94,25 @@ class TestRuntime:
         assert not trace.violations
 
     def test_trace_accounting(self, example, example_tables):
-        _, trace = self.run_7a(example, example_tables)
+        _, trace = self.run_7a(example, example_tables,
+                               schedule="sequential")
         # 4 envelopes + 3 inter-fragment transfers.
         assert trace.messages == 7
         assert trace.envelope_bytes > 0
+        # The sequential reference schedule is demand-driven: root first.
         assert [f for f, _ in trace.fragments_run] == [
             "reqY", "reqX", "reqH", "reqI",
+        ]
+
+    def test_trace_accounting_parallel(self, example, example_tables):
+        _, trace = self.run_7a(example, example_tables)
+        assert trace.schedule == "parallel"
+        assert trace.messages == 7
+        assert trace.envelope_bytes > 0
+        # Under the concurrent schedule completion order varies, but the
+        # same four fragments run exactly once each.
+        assert sorted(f for f, _ in trace.fragments_run) == [
+            "reqH", "reqI", "reqX", "reqY",
         ]
 
     def test_enforcement_blocks_unauthorized_profile(self, example,

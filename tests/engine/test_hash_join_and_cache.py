@@ -177,6 +177,7 @@ class TestSubtreeCache:
         executor.execute(node)
         assert executor.cache_info() == {
             "hits": 0, "misses": 0, "size": 0, "capacity": 0,
+            "bytes": 0, "capacity_bytes": None,
         }
 
     def test_lru_eviction(self):
@@ -273,6 +274,74 @@ class TestSubtreeCache:
         assert executor.cache_info()["size"] == 1
         executor.catalog.update({})
         assert executor.cache_info()["size"] == 1
+
+
+class TestByteBoundedCache:
+    """The ``cache_bytes`` budget replacing the entry-count LRU."""
+
+    def test_estimated_bytes_scales_with_rows(self):
+        small = Table("T", ("a",), [(i,) for i in range(10)])
+        large = Table("T", ("a",), [(i,) for i in range(1000)])
+        assert small.estimated_bytes() > 0
+        assert large.estimated_bytes() > 10 * small.estimated_bytes()
+        # Memoized: the same object computes once.
+        assert large.estimated_bytes() is large.estimated_bytes()
+
+    def test_byte_budget_evicts_lru(self):
+        catalog = random_catalog()
+        r_leaf = BaseRelationNode(R)
+        s_leaf = BaseRelationNode(S)
+        probe = Executor(catalog)
+        r_bytes = probe.execute(r_leaf).estimated_bytes()
+        s_bytes = probe.execute(s_leaf).estimated_bytes()
+        # Room for one table but not both: caching S must evict R.
+        executor = Executor(catalog,
+                            cache_bytes=max(r_bytes, s_bytes) + 16)
+        executor.execute(r_leaf)
+        executor.execute(s_leaf)
+        info = executor.cache_info()
+        assert info["size"] == 1
+        assert 0 < info["bytes"] <= info["capacity_bytes"]
+        executor.execute(s_leaf)
+        assert executor.cache_hits == 1  # S survived, R was evicted
+
+    def test_oversized_result_never_cached(self):
+        catalog = random_catalog()
+        node = BaseRelationNode(R)
+        executor = Executor(catalog, cache_bytes=8)
+        executor.execute(node)
+        executor.execute(node)
+        assert executor.cache_hits == 0
+        assert executor.cache_info()["size"] == 0
+        assert executor.cache_info()["bytes"] == 0
+
+    def test_zero_byte_budget_disables_cache(self):
+        catalog = random_catalog()
+        node = BaseRelationNode(R)
+        executor = Executor(catalog, cache_bytes=0)
+        executor.execute(node)
+        executor.execute(node)
+        assert executor.cache_info()["hits"] == 0
+        assert executor.cache_info()["misses"] == 0
+
+    def test_byte_mode_ignores_entry_count(self):
+        catalog = random_catalog()
+        r_leaf = BaseRelationNode(R)
+        s_leaf = BaseRelationNode(S)
+        executor = Executor(catalog, cache_size=1, cache_bytes=1 << 20)
+        executor.execute(r_leaf)
+        executor.execute(s_leaf)
+        # Entry-count LRU (cache_size=1) no longer governs in byte mode.
+        assert executor.cache_info()["size"] == 2
+
+    def test_clear_cache_resets_bytes(self):
+        catalog = random_catalog()
+        executor = Executor(catalog, cache_bytes=1 << 20)
+        executor.execute(BaseRelationNode(R))
+        assert executor.cache_info()["bytes"] > 0
+        executor.clear_cache()
+        assert executor.cache_info()["bytes"] == 0
+        assert executor.cache_info()["size"] == 0
 
 
 class TestBulkTableApis:

@@ -29,6 +29,19 @@ class TestCli:
         out = capsys.readouterr().out
         assert "uniform-visibility penalty" in out
 
+    def test_workload_command(self, capsys):
+        assert main(["workload", "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "session U:" in out
+        assert "X: DENIED" in out
+        assert "service totals:" in out
+
+    def test_workload_sequential_schedule(self, capsys):
+        assert main(["workload", "--repeat", "1",
+                     "--schedule", "sequential"]) == 0
+        out = capsys.readouterr().out
+        assert "[sequential," in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

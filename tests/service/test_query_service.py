@@ -1,0 +1,165 @@
+"""QueryService / WorkloadSession: end-to-end SQL workloads with shared
+caches, multi-user sessions, and authorization enforcement."""
+
+import pytest
+
+from repro.engine import Executor, Table
+from repro.exceptions import SqlAnalysisError, UnauthorizedError
+from repro.service import QueryService, WorkloadSession
+from repro.tpch import TPCH_UDFS, all_scenarios, build_tpch_schema, \
+    generate, query
+from repro.tpch.schema import table_owners
+
+RUNNING_SQL = ("select T, avg(P) from Hosp join Ins on S=C "
+               "where D='stroke' group by T having avg(P)>100")
+
+
+@pytest.fixture()
+def service(example, example_tables):
+    return QueryService(
+        example.schema, example.policy, example.subjects,
+        example.owners,
+        {"H": {"Hosp": example_tables["Hosp"]},
+         "I": {"Ins": example_tables["Ins"]}},
+        user="U",
+    )
+
+
+class TestQueryService:
+    def test_end_to_end_result(self, service):
+        outcome = service.execute(RUNNING_SQL)
+        assert outcome.result.sorted_rows() == [("tpa", 120.0)]
+        assert outcome.user == "U"
+        assert not outcome.trace.violations
+        assert outcome.wall_seconds > 0
+        assert outcome.cost_usd > 0
+        assert not outcome.plan_cached
+        assert not outcome.assignment_cached
+        assert not outcome.keys_reused
+
+    def test_repeat_query_hits_every_cache_layer(self, service):
+        cold = service.execute(RUNNING_SQL)
+        warm = service.execute(RUNNING_SQL)
+        assert warm.result.rows == cold.result.rows
+        assert warm.plan_cached
+        assert warm.assignment_cached
+        assert warm.keys_reused
+        assert warm.trace.fragment_cache_hits == \
+            len(warm.trace.fragments_run)
+        info = service.cache_info()
+        assert info["plans"] == 1
+        assert info["assignment"]["hits"] == 1
+
+    def test_rsa_keys_generated_once(self, service):
+        before = {name: node.rsa_public
+                  for name, node in service.runtime.nodes.items()}
+        service.execute(RUNNING_SQL)
+        service.execute(RUNNING_SQL)
+        for name, node in service.runtime.nodes.items():
+            assert node.rsa_public is before[name]
+
+    def test_sequential_override_matches_parallel(self, service):
+        parallel = service.execute(RUNNING_SQL)
+        sequential = service.execute(RUNNING_SQL,
+                                     schedule="sequential")
+        assert sequential.trace.schedule == "sequential"
+        assert sequential.result.rows == parallel.result.rows
+
+    def test_unauthorized_user_is_refused(self, service):
+        # X sees P only encrypted: it may never receive the plaintext
+        # result, so the pipeline refuses before anything executes.
+        with pytest.raises(UnauthorizedError):
+            service.execute(RUNNING_SQL, user="X")
+
+    def test_unknown_sql_rejected(self, service):
+        with pytest.raises(SqlAnalysisError):
+            service.execute("select Z from Nowhere")
+
+    def test_refresh_tables_invalidates_caches(self, service,
+                                               example_tables):
+        before = service.execute(RUNNING_SQL)
+        assert before.result.sorted_rows() == [("tpa", 120.0)]
+        richer = Table("Ins", ("C", "P"), [
+            ("s1", 150.0), ("s2", 90.0), ("s3", 200.0),
+            ("s4", 160.0), ("s5", 150.0),
+        ])
+        service.refresh_tables({"I": {"Ins": richer}})
+        after = service.execute(RUNNING_SQL)
+        assert after.result.sorted_rows() == [
+            ("surgery", 155.0), ("tpa", 120.0),
+        ]
+
+    def test_byte_bounded_executors_still_correct(self, example,
+                                                  example_tables):
+        tiny = QueryService(
+            example.schema, example.policy, example.subjects,
+            example.owners,
+            {"H": {"Hosp": example_tables["Hosp"]},
+             "I": {"Ins": example_tables["Ins"]}},
+            user="U", executor_cache_bytes=1,
+        )
+        outcome = tiny.execute(RUNNING_SQL)
+        assert outcome.result.sorted_rows() == [("tpa", 120.0)]
+
+
+class TestWorkloadSession:
+    def test_session_accumulates_stats(self, service):
+        session = service.session()
+        assert isinstance(session, WorkloadSession)
+        session.run(RUNNING_SQL)
+        session.run(RUNNING_SQL)
+        assert session.stats.queries == 2
+        assert session.stats.rows_returned == 2
+        assert session.stats.plan_cache_hits == 1
+        assert session.stats.assignment_cache_hits == 1
+        assert session.stats.fragment_cache_hits > 0
+        assert "2 queries" in session.describe()
+
+    def test_sessions_share_service_caches(self, service):
+        first = service.session("U")
+        second = service.session("U")
+        first.run(RUNNING_SQL)
+        outcome = second.run(RUNNING_SQL)
+        # A different session, the same service: still warm.
+        assert outcome.assignment_cached
+        assert outcome.keys_reused
+
+    def test_per_user_authorization_is_separate(self, service):
+        denied = service.session("X")
+        with pytest.raises(UnauthorizedError):
+            denied.run(RUNNING_SQL)
+        allowed = service.session("U")
+        outcome = allowed.run(RUNNING_SQL)
+        assert outcome.result.sorted_rows() == [("tpa", 120.0)]
+
+
+class TestTpchWorkload:
+    @pytest.fixture(scope="class")
+    def tpch_service(self):
+        scale = 0.002
+        schema = build_tpch_schema(scale)
+        data = generate(scale=scale, seed=11)
+        scenario_obj = all_scenarios(schema)["UAPenc"]
+        authority_tables = {"A1": {}, "A2": {}}
+        for name, owner in table_owners().items():
+            authority_tables[owner][name] = data.table(name)
+        service = QueryService(
+            schema, scenario_obj.policy, scenario_obj.subjects,
+            scenario_obj.owners, authority_tables,
+            user=scenario_obj.user, udfs=TPCH_UDFS,
+        )
+        return service, schema, data
+
+    @pytest.mark.parametrize("number", [3, 5])
+    def test_tpch_sql_through_service(self, tpch_service, number):
+        service, schema, data = tpch_service
+        sql = query(number).sql
+        assert sql is not None
+        outcome = service.execute(sql)
+        plain = Executor(data.catalog(), udfs=TPCH_UDFS).execute(
+            query(number).plan(schema))
+        assert set(outcome.result.columns) == set(plain.columns)
+        assert len(outcome.result) == len(plain)
+        warm = service.execute(sql)
+        assert warm.assignment_cached
+        assert warm.result.rows == outcome.result.rows
