@@ -15,8 +15,8 @@ Two measurements, matching the ISSUE-3 acceptance bars:
   policy-versioned assignment cache (and reuse keys/plans/fragments),
   making warm queries measurably cheaper than the cold first run.
 
-``--quick`` runs a smaller smoke configuration with relaxed bars for CI;
-``--json PATH`` emits the measurements for trend tracking.
+``--quick`` runs a smaller smoke configuration for CI; ``--json PATH``
+emits the measurements for trend tracking.
 
 Run standalone (no pytest needed)::
 
@@ -24,7 +24,11 @@ Run standalone (no pytest needed)::
     PYTHONPATH=src python benchmarks/bench_distributed_workload.py \
         --quick --json BENCH_workload.json
 
-Exits non-zero when a bar is missed or the schedules disagree.
+Structural invariants (identical sequential/parallel results, warm
+assignment-cache hits) always gate the exit status.  Wall-clock bars
+gate only the full run: under ``--quick`` they are report-only (printed
+as warnings), so contended CI runners cannot flake unrelated merges on
+timing noise.
 """
 
 from __future__ import annotations
@@ -253,18 +257,27 @@ def main(argv=None) -> int:
     failures = []
     if not fanout["results_identical"]:
         failures.append("parallel and sequential results differ")
-    if fanout["speedup"] < speedup_bar:
-        failures.append(
-            f"fan-out speedup {fanout['speedup']:.2f}x "
-            f"< bar {speedup_bar}x")
     if service["assignment_cache_hits"] != service["repeats"]:
         failures.append(
             f"expected {service['repeats']} assignment cache hits, "
             f"got {service['assignment_cache_hits']}")
+    timing_misses = []
+    if fanout["speedup"] < speedup_bar:
+        timing_misses.append(
+            f"fan-out speedup {fanout['speedup']:.2f}x "
+            f"< bar {speedup_bar}x")
     if service["warm_speedup"] < service_bar:
-        failures.append(
+        timing_misses.append(
             f"warm service speedup {service['warm_speedup']:.2f}x "
             f"< bar {service_bar}x")
+    if arguments.quick:
+        # Timing is report-only in smoke mode: shared CI runners are too
+        # contended to gate merges on wall-clock bars.
+        for miss in timing_misses:
+            print(f"WARN (report-only under --quick): {miss}",
+                  file=sys.stderr)
+    else:
+        failures.extend(timing_misses)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

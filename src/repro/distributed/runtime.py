@@ -23,14 +23,16 @@ Scheduling
 ----------
 The §6 dispatch hands every provider an *independent* sub-query, so the
 runtime derives an explicit fragment dependency graph from
-:meth:`~repro.core.dispatch.DispatchPlan.dependencies` and executes it on
-a worker pool: sibling fragments with no request path between them run
-concurrently, while a per-subject lock serializes the fragments of any
-one subject (a :class:`SubjectNode`'s executor state is never touched by
-two threads at once).  ``schedule="sequential"`` keeps the seed's
-demand-driven recursion — root first, one fragment at a time — as the
-bit-identical reference path; both schedules produce the same result
-table because each fragment's output depends only on its inputs.
+:meth:`~repro.core.dispatch.DispatchPlan.dependencies` and can execute
+it on a worker pool: sibling fragments with no request path between them
+run concurrently, while a per-subject lock serializes the fragments of
+any one subject (a :class:`SubjectNode`'s executor state is never
+touched by two threads at once).  The concurrent scheduler is **opt-in**
+(``schedule="parallel"``); the default stays the seed's demand-driven
+recursion — root first, one fragment at a time — as the bit-identical
+reference path, so existing callers keep deterministic trace ordering
+and no thread pool.  Both schedules produce the same result table
+because each fragment's output depends only on its inputs.
 
 The runtime is also built to be *long-lived*: per-subject executors (and
 their memoized subtree results) persist across ``run`` calls keyed by the
@@ -158,10 +160,10 @@ class DistributedRuntime:
     Parameters
     ----------
     schedule:
-        ``"parallel"`` (default) runs independent fragments concurrently
-        on a worker pool; ``"sequential"`` keeps the demand-driven
-        recursive reference path.  Both return identical results; only
-        trace ordering (and wall time) differs.
+        ``"sequential"`` (default) is the demand-driven recursive
+        reference path; ``"parallel"`` opts into running independent
+        fragments concurrently on a worker pool.  Both return identical
+        results; only trace ordering (and wall time) differs.
     max_workers:
         Worker-pool width for the parallel schedule (default: one per
         fragment, capped at 32).
@@ -173,7 +175,7 @@ class DistributedRuntime:
 
     def __init__(self, policy: Policy, nodes: Mapping[str, SubjectNode],
                  user: str, enforce: bool = True,
-                 schedule: str = "parallel",
+                 schedule: str = "sequential",
                  max_workers: int | None = None,
                  executor_cache_size: int = 128,
                  executor_cache_bytes: int | None = None) -> None:
@@ -194,6 +196,14 @@ class DistributedRuntime:
             tuple, tuple[Table, PlanNode, tuple[Table, ...]]
         ] = OrderedDict()
         self._caches_guard = threading.Lock()
+        # Bumped by invalidate_caches(); inserts check it so an entry
+        # computed from a pre-invalidation catalog snapshot can never
+        # repopulate the caches after the clear.
+        self._cache_generation = 0
+        # Last policy version each cache was purged of stale-version
+        # entries at; lets the hot insert path skip the purge scan.
+        self._fragment_purge_version = policy.version
+        self._executor_purge_version = policy.version
 
     # ------------------------------------------------------------------
     # Entry point
@@ -210,6 +220,10 @@ class DistributedRuntime:
         chosen schedule — demand-driven root-down recursion
         (``"sequential"``, exactly the nested ``req`` calls of Figure 8)
         or dependency-graph order on a worker pool (``"parallel"``).
+
+        The returned table is the caller's own copy: fragment results
+        are memoized and shared across runs internally, so the delivered
+        table is detached from the caches before it is handed out.
         """
         schedule = _check_schedule(schedule or self.schedule)
         user = user or self.user
@@ -259,7 +273,10 @@ class DistributedRuntime:
             )
             self._check_values(root_view, result, trace)
         trace.rows_transferred += len(result)
-        return result, trace
+        # The result may live in (and be served again from) the fragment
+        # cache; Table.rows is a public mutable list, so hand the caller
+        # a private copy rather than the cached object itself.
+        return result.copy(), trace
 
     def invalidate_caches(self) -> None:
         """Drop persistent executors and memoized fragment results.
@@ -267,10 +284,14 @@ class DistributedRuntime:
         Call after changing a :class:`SubjectNode`'s ``tables`` or
         ``udfs`` in place: executors snapshot the catalog they were
         created with, so data changes are otherwise invisible to them.
+        A run in flight during the call cannot re-insert entries built
+        from the old catalog: inserts are fenced on a generation counter
+        this method bumps.
         """
         with self._caches_guard:
             self._executors.clear()
             self._fragment_cache.clear()
+            self._cache_generation += 1
 
     def cache_info(self) -> dict[str, int]:
         """Aggregate executor/fragment cache counters across subjects."""
@@ -407,6 +428,7 @@ class DistributedRuntime:
             tuple(sorted((b, id(t)) for b, t in inputs.items())),
         )
         with self._caches_guard:
+            generation = self._cache_generation
             cached = self._fragment_cache.get(cache_key)
             if cached is not None:
                 self._fragment_cache.move_to_end(cache_key)
@@ -417,35 +439,59 @@ class DistributedRuntime:
         if node.latency_seconds:
             time.sleep(node.latency_seconds)
         executor = self._executor_for(node, fragment.subject, payload,
-                                      signature, context)
+                                      signature, context, generation)
+        impure = _input_dependent_ids(fragment.root, inputs)
         result = self._evaluate(context, fragment, fragment.root, executor,
-                                inputs, view)
+                                inputs, view, impure)
         with self._caches_guard:
             # The key holds id()s of the root node and the input tables;
             # the entry pins those objects so the ids cannot be recycled
-            # into different objects while the entry exists.
-            self._fragment_cache[cache_key] = (
-                result, fragment.root, tuple(inputs.values()),
-            )
-            self._fragment_cache.move_to_end(cache_key)
-            while len(self._fragment_cache) > _FRAGMENT_CACHE_LIMIT:
-                self._fragment_cache.popitem(last=False)
+            # into different objects while the entry exists.  Skip the
+            # insert if invalidate_caches() ran meanwhile — this result
+            # may have been computed from the pre-invalidation catalog.
+            current_version = self.policy.version
+            if self._cache_generation == generation \
+                    and cache_key[3] == current_version:
+                # Entries from superseded policy versions can never hit
+                # again (the version in the key only grows) — drop them
+                # instead of letting them pin tables until LRU churn.
+                # The scan runs once per version bump, not per insert.
+                if self._fragment_purge_version != current_version:
+                    for stale in [k for k in self._fragment_cache
+                                  if k[3] != current_version]:
+                        del self._fragment_cache[stale]
+                    self._fragment_purge_version = current_version
+                self._fragment_cache[cache_key] = (
+                    result, fragment.root, tuple(inputs.values()),
+                )
+                self._fragment_cache.move_to_end(cache_key)
+                while len(self._fragment_cache) > _FRAGMENT_CACHE_LIMIT:
+                    self._fragment_cache.popitem(last=False)
         return result
 
     def _evaluate(self, context: _RunContext, fragment: SubQuery,
                   node: PlanNode, executor: Executor,
-                  inputs: dict[int, Table], view: SubjectView) -> Table:
+                  inputs: dict[int, Table], view: SubjectView,
+                  impure: frozenset[int] | set[int]) -> Table:
+        # Nodes whose subtree contains a boundary input (``impure``) are
+        # never served from or stored into the executor memo: the memo
+        # keys on node identity only, so a re-run of the same fragment
+        # with value-different inputs would otherwise get a stale
+        # subtree result.  Cross-run reuse for those nodes comes from
+        # the fragment cache, which does key on input identity.
+        cacheable = id(node) not in impure
         if id(node) in inputs:
             return inputs[id(node)]
-        result = executor.lookup(node)
+        result = executor.lookup(node) if cacheable else None
         if result is None:
             children = [
                 self._evaluate(context, fragment, child, executor, inputs,
-                               view)
+                               view, impure)
                 for child in node.children
             ]
             result = executor.execute_node(node, children)
-            executor.memoize(node, result)
+            if cacheable:
+                executor.memoize(node, result)
         if self.enforce and not isinstance(node, BaseRelationNode) \
                 and not fragment.subject.startswith("authority:"):
             self._check_profile(
@@ -457,16 +503,21 @@ class DistributedRuntime:
 
     def _executor_for(self, node: SubjectNode, subject: str,
                       payload: SubQueryPayload, signature: str,
-                      context: _RunContext) -> Executor:
-        """A persistent executor for (subject, delivered key material).
+                      context: _RunContext, generation: int) -> Executor:
+        """A persistent executor per (subject, key material, policy).
 
         Keyed by the *value* of the key material (not object identity):
         envelopes deliver fresh deserialized stores every run, and an
         executor must keep its memoized results when the keys are the
-        same.  The per-subject lock serializes all use of any one
-        subject's executors.
+        same.  The policy version is part of the key, mirroring the
+        fragment cache: a ``grant``/``revoke`` may leave the delivered
+        keystore unchanged, and serving memoized subtree results across
+        it would skip the model-level checks on interior nodes that the
+        re-run is supposed to repeat.  The per-subject lock serializes
+        all use of any one subject's executors.
         """
-        key = (subject, signature, context.constant_store_signature)
+        key = (subject, signature, context.constant_store_signature,
+               self.policy.version)
         with self._caches_guard:
             executor = self._executors.get(key)
             if executor is not None:
@@ -478,11 +529,30 @@ class DistributedRuntime:
             cache_size=self.executor_cache_size,
             cache_bytes=self.executor_cache_bytes,
         )
+        current_version = self.policy.version
         with self._caches_guard:
-            self._executors[key] = executor
-            self._executors.move_to_end(key)
-            while len(self._executors) > _EXECUTOR_POOL_LIMIT:
-                self._executors.popitem(last=False)
+            # Pool the executor only if invalidate_caches() has not run
+            # since this fragment started: it snapshotted ``node.tables``
+            # that may predate a concurrent refresh.  The current run
+            # still uses it (the race makes either outcome valid for
+            # in-flight work); it just must not outlive the run.  The
+            # same goes for an executor keyed on an already-superseded
+            # policy version (a grant/revoke landed mid-run).
+            if self._cache_generation == generation \
+                    and key[3] == current_version:
+                # Entries keyed on superseded policy versions are
+                # unreachable forever (version counters only grow); drop
+                # them now rather than waiting on LRU churn that never
+                # comes with few subjects.  Scan once per version bump.
+                if self._executor_purge_version != current_version:
+                    for stale in [k for k in self._executors
+                                  if k[3] != current_version]:
+                        del self._executors[stale]
+                    self._executor_purge_version = current_version
+                self._executors[key] = executor
+                self._executors.move_to_end(key)
+                while len(self._executors) > _EXECUTOR_POOL_LIMIT:
+                    self._executors.popitem(last=False)
         return executor
 
     # ------------------------------------------------------------------
@@ -551,6 +621,37 @@ class DistributedRuntime:
                 trace.violations.append(message)
 
 
+def _input_dependent_ids(root: PlanNode,
+                         inputs: dict[int, Table]) -> set[int]:
+    """Ids of nodes whose subtree contains a boundary-input node.
+
+    Their results are functions of the delivered input tables, not of
+    the executor's own catalog, so they must stay out of the executor's
+    identity-keyed memo (see :meth:`DistributedRuntime._evaluate`).
+    """
+    dependent: set[int] = set()
+    pure: set[int] = set()
+
+    def visit(node: PlanNode) -> bool:
+        if id(node) in inputs:
+            return True
+        if id(node) in dependent:
+            return True
+        if id(node) in pure:
+            return False
+        # Evaluate all children (no short-circuit): shared subtrees must
+        # all be classified, not just the first impure one.
+        flags = [visit(child) for child in node.children]
+        if any(flags):
+            dependent.add(id(node))
+            return True
+        pure.add(id(node))
+        return False
+
+    visit(root)
+    return dependent
+
+
 def _check_schedule(schedule: str) -> str:
     if schedule not in ("parallel", "sequential"):
         raise DispatchError(f"unknown schedule {schedule!r}")
@@ -577,7 +678,7 @@ def build_runtime(policy: Policy, subjects: list[Subject],
                   rsa_bits: int = 512,
                   rsa_keys: Mapping[
                       str, tuple[RsaPublicKey, RsaPrivateKey]] | None = None,
-                  schedule: str = "parallel",
+                  schedule: str = "sequential",
                   max_workers: int | None = None,
                   latency_seconds: float | Mapping[str, float] = 0.0,
                   executor_cache_size: int = 128,

@@ -252,6 +252,14 @@ class Table:
         """The same content under a new name (rows list is copied)."""
         return Table._from_trusted(name, self.columns, list(self.rows))
 
+    def copy(self) -> "Table":
+        """A same-content table with a private ``rows`` list.
+
+        Rows are immutable tuples, so the shallow copy is enough to
+        detach the caller from any cache the original lives in.
+        """
+        return self.rename(self.name)
+
     # ------------------------------------------------------------------
     # Comparison helpers (tests)
     # ------------------------------------------------------------------

@@ -55,6 +55,10 @@ DEFAULT_EXECUTOR_CACHE_BYTES = 32 * 1024 * 1024
 #: Entries kept in the plan/dispatch-plan/distributed-key memos.
 _MEMO_LIMIT = 256
 
+#: Most recent outcomes a :class:`WorkloadSession` retains (stats cover
+#: every query regardless; full results must not pin unbounded memory).
+_SESSION_OUTCOME_LIMIT = 128
+
 
 class _BoundedCache(OrderedDict):
     """An insertion-bounded mapping for the service's long-lived memos.
@@ -171,7 +175,16 @@ class QueryService:
         self.owners = dict(owners)
         self.user = user
         self.prices = prices or PriceList.from_subjects(self.subjects)
-        self.topology = topology or NetworkTopology.paper_defaults(user)
+        # An explicit topology applies to every querying user; without
+        # one, each user gets the §7 defaults *from their own seat* (the
+        # slow client link must follow whoever is querying), memoized so
+        # the assignment cache's identity-compared context still hits.
+        self.topology = topology
+        #: user → memoized topology; bounded like every other per-user
+        #: memo (arbitrary user strings reach here before authorization
+        #: checks run, so unbounded growth would be caller-controlled).
+        #: Eviction only costs a cold user an assignment-cache miss.
+        self._user_topologies: _BoundedCache = _BoundedCache()
         self.assignment_cache = AssignmentCache(
             maxsize=assignment_cache_size)
         # Per-subject RSA keypairs are generated exactly once, here.
@@ -213,14 +226,19 @@ class QueryService:
             hits_before = self.assignment_cache.info()["hits"]
             outcome = assign(
                 plan, self.policy, self.subject_names, self.prices,
-                user=user, owners=self.owners, topology=self.topology,
+                user=user, owners=self.owners,
+                topology=self._topology_for(user),
                 cache=self.assignment_cache,
             )
             assignment_cached = (
                 self.assignment_cache.info()["hits"] > hits_before
             )
-            distributed, keys_reused = self._distributed_keys(outcome)
-            dispatch_plan = self._dispatch_plan(outcome, user)
+        # Key generation (Paillier — the most expensive planning step)
+        # and fragment rendering run outside the planning lock so cold
+        # queries from different users don't serialize on them; the memo
+        # helpers do their own double-checked locking.
+        distributed, keys_reused = self._distributed_keys(outcome)
+        dispatch_plan = self._dispatch_plan(outcome, user)
         result, trace = self.runtime.run(
             dispatch_plan, outcome.extended, outcome.keys, distributed,
             user=user, schedule=schedule,
@@ -259,12 +277,18 @@ class QueryService:
         here (or call ``runtime.invalidate_caches()`` after mutating a
         node's ``tables`` directly).
         """
-        for subject, tables in authority_tables.items():
+        # Validate every name before mutating anything: a partial update
+        # that bails mid-way would leave refreshed tables served from
+        # stale caches.
+        for subject in authority_tables:
             if subject not in self.runtime.nodes:
                 raise DispatchError(
                     f"no runtime node for subject {subject!r}")
-            self.runtime.nodes[subject].tables = dict(tables)
-        self.runtime.invalidate_caches()
+        try:
+            for subject, tables in authority_tables.items():
+                self.runtime.nodes[subject].tables = dict(tables)
+        finally:
+            self.runtime.invalidate_caches()
 
     def cache_info(self) -> dict[str, object]:
         """All cache counters: plans, assignments, executors, fragments."""
@@ -291,6 +315,39 @@ class QueryService:
     # ------------------------------------------------------------------
     # Memoised per-assignment artifacts
     # ------------------------------------------------------------------
+    def _topology_for(self, user: str) -> NetworkTopology:
+        """The network topology pricing ``user``'s queries (memoized)."""
+        if self.topology is not None:
+            return self.topology
+        topology = self._user_topologies.get(user)
+        if topology is None:
+            topology = NetworkTopology.paper_defaults(user)
+            self._user_topologies[user] = topology
+        return topology
+
+    def _memo_get_or_create(self, memo: _BoundedCache, key,
+                            factory) -> tuple[object, bool]:
+        """Double-checked get-or-insert; ``factory`` runs outside the lock.
+
+        Returns ``(entry, was_cached)``.  ``was_cached`` is True only
+        when the first check hit: a caller that loses the insert race
+        gets the winner's entry back but still paid the factory cost,
+        so it must not report a cache hit.
+        """
+        with self._lock:
+            entry = memo.get(key)
+            if entry is not None:
+                memo.move_to_end(key)
+                return entry, True
+        created = factory()
+        with self._lock:
+            entry = memo.get(key)
+            if entry is not None:
+                memo.move_to_end(key)
+                return entry, False
+            memo[key] = created
+        return created, False
+
     def _distributed_keys(
         self, outcome: AssignmentResult,
     ) -> tuple[DistributedKeys, bool]:
@@ -301,32 +358,34 @@ class QueryService:
         same Paillier/symmetric material instead of regenerating it (the
         entry pins the assignment so the id stays valid).
         """
-        memo_key = id(outcome.keys)
-        entry = self._keys_memo.get(memo_key)
-        if entry is not None:
-            self._keys_memo.move_to_end(memo_key)
-            return entry[0], True
-        distributed = DistributedKeys.from_assignment(outcome.keys)
-        self._keys_memo[memo_key] = (distributed, outcome.keys)
-        return distributed, False
+        entry, cached = self._memo_get_or_create(
+            self._keys_memo, id(outcome.keys),
+            lambda: (DistributedKeys.from_assignment(outcome.keys),
+                     outcome.keys),
+        )
+        return entry[0], cached
 
     def _dispatch_plan(self, outcome: AssignmentResult,
                        user: str) -> DispatchPlan:
         """Fragment partitioning per (assignment, user), memoised."""
-        memo_key = (id(outcome.extended), user)
-        entry = self._dispatch_memo.get(memo_key)
-        if entry is not None:
-            self._dispatch_memo.move_to_end(memo_key)
-            return entry[0]
-        plan = dispatch(outcome.extended, outcome.keys,
-                        owners=self.owners, user=user)
-        self._dispatch_memo[memo_key] = (plan, outcome.extended)
-        return plan
+        entry, _ = self._memo_get_or_create(
+            self._dispatch_memo, (id(outcome.extended), user),
+            lambda: (dispatch(outcome.extended, outcome.keys,
+                              owners=self.owners, user=user),
+                     outcome.extended),
+        )
+        return entry[0]
 
 
 @dataclass
 class WorkloadSession:
-    """One user's stream of queries over a shared :class:`QueryService`."""
+    """One user's stream of queries over a shared :class:`QueryService`.
+
+    ``outcomes`` keeps only the most recent
+    :data:`_SESSION_OUTCOME_LIMIT` queries — each outcome pins its full
+    result table and assignment, which must not grow without bound over
+    a long-lived session; ``stats`` aggregates every query ever run.
+    """
 
     service: QueryService
     user: str
@@ -338,6 +397,7 @@ class WorkloadSession:
         outcome = self.service.execute(sql, user=self.user,
                                        schedule=schedule)
         self.outcomes.append(outcome)
+        del self.outcomes[:-_SESSION_OUTCOME_LIMIT]
         self.stats.observe(outcome)
         return outcome
 

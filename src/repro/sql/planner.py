@@ -76,6 +76,13 @@ def plan_query(query: SelectQuery | str, schema: Schema,
                 entry = (_Planner(parse_sql(query), schema).build(),
                          schema)
                 cache[key] = entry
+            else:
+                # Refresh recency on ordered bounded caches so a hot
+                # plan is not evicted FIFO by a stream of one-off
+                # queries (losing the identity chain downstream).
+                refresh = getattr(cache, "move_to_end", None)
+                if refresh is not None:
+                    refresh(key)
             return entry[0]
         query = parse_sql(query)
     return _Planner(query, schema).build()

@@ -362,6 +362,58 @@ class TestCrossRunCaches:
         _, trace = run()
         assert trace.fragment_cache_hits == 0
 
+    def test_policy_change_bypasses_executor_memos(self, example,
+                                                   example_tables):
+        runtime, run = pipeline_7a(example, example_tables, "parallel")
+        first, _ = run()
+        with runtime._caches_guard:
+            old_executors = set(map(id, runtime._executors.values()))
+        # Z plays no role in 7(a): the revoke leaves every delivered
+        # keystore unchanged, so only the policy version distinguishes
+        # the re-run.  Serving old executor memos here would skip the
+        # model-level checks on interior nodes.
+        example.policy.revoke("Hosp", "Z")
+        second, trace = run()
+        assert trace.fragment_cache_hits == 0
+        with runtime._caches_guard:
+            versions = {key[3] for key in runtime._executors}
+            new_executors = set(map(id, runtime._executors.values()))
+        # Every pooled executor is keyed on the new version, and none of
+        # the pre-revoke executors (with their memos) survived.
+        assert versions == {example.policy.version}
+        assert not (old_executors & new_executors)
+        assert second.rows == first.rows
+
+    def test_revoked_authorization_rejected_on_warm_rerun(
+            self, example, example_tables):
+        runtime, run = pipeline_7a(example, example_tables, "parallel")
+        run()
+        # X joins over encrypted C/P; with its Ins authorization revoked
+        # the warm re-run must fail enforcement instead of serving the
+        # memoized fragment results (the keystore signature is
+        # unchanged, so only policy-versioned caches catch this).
+        example.policy.revoke("Ins", "X")
+        with pytest.raises(UnauthorizedError):
+            run()
+
+    def test_input_dependent_nodes_stay_out_of_executor_memo(
+            self, example, example_tables):
+        runtime, run = pipeline_7a(example, example_tables, "parallel")
+        run()
+        with runtime._caches_guard:
+            by_subject = {}
+            for (subject, *_), executor in runtime._executors.items():
+                by_subject.setdefault(subject, []).append(executor)
+        # Authorities evaluate pure subtrees over their own catalogs:
+        # those are executor-memoized across runs.
+        assert any(len(e._cache) for e in by_subject["H"])
+        # Every node of X's fragment hangs off boundary inputs; the
+        # executor memo keys on node identity only, so memoizing them
+        # would serve stale results if the same fragment ever re-ran
+        # with value-different inputs under an identical keystore.
+        # Cross-run reuse for X comes from the fragment cache instead.
+        assert all(not e._cache for e in by_subject["X"])
+
     def test_invalidate_caches_drops_everything(self, example,
                                                 example_tables):
         runtime, run = pipeline_7a(example, example_tables, "parallel")
@@ -372,6 +424,33 @@ class TestCrossRunCaches:
         assert runtime.cache_info()["executors"] == 0
         _, trace = run()
         assert trace.fragment_cache_hits == 0
+
+    def test_invalidate_during_run_cannot_repopulate_caches(
+            self, example, example_tables, monkeypatch):
+        runtime, run = pipeline_7a(example, example_tables, "sequential")
+        original = runtime_module.DistributedRuntime._evaluate
+        fired = []
+
+        def invalidating(self, context, fragment, node, executor, inputs,
+                         view, impure):
+            # Simulate a concurrent refresh landing while the first
+            # fragment (reqH, sequentially innermost) is mid-evaluation.
+            if not fired:
+                fired.append(True)
+                self.invalidate_caches()
+            return original(self, context, fragment, node, executor,
+                            inputs, view, impure)
+
+        monkeypatch.setattr(runtime_module.DistributedRuntime,
+                            "_evaluate", invalidating)
+        result, _ = run()
+        assert result.sorted_rows() == [("tpa", 120.0)]
+        # reqH captured the pre-invalidation generation: its executor
+        # was cleared and its fragment result must not be re-inserted;
+        # the three fragments that started afterwards cache normally.
+        info = runtime.cache_info()
+        assert info["fragment_entries"] == 3
+        assert info["executors"] == 3
 
     def test_pregenerated_rsa_keys_are_used(self, example,
                                             example_tables):

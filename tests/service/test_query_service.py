@@ -89,6 +89,58 @@ class TestQueryService:
             ("surgery", 155.0), ("tpa", 120.0),
         ]
 
+    def test_each_user_priced_from_own_seat(self, example,
+                                            example_tables, service):
+        from repro.cost.network import NetworkTopology
+
+        # Without an explicit topology the slow client link follows the
+        # querying user — and the per-user object is memoized so the
+        # assignment cache's identity-compared context still hits.
+        assert service._topology_for("U").client_subjects == \
+            frozenset({"U"})
+        assert service._topology_for("Y").client_subjects == \
+            frozenset({"Y"})
+        assert service._topology_for("Y") is service._topology_for("Y")
+        explicit = NetworkTopology.paper_defaults("U")
+        pinned = QueryService(
+            example.schema, example.policy, example.subjects,
+            example.owners,
+            {"H": {"Hosp": example_tables["Hosp"]},
+             "I": {"Ins": example_tables["Ins"]}},
+            user="U", topology=explicit,
+        )
+        assert pinned._topology_for("Y") is explicit
+
+    def test_plan_cache_hot_entry_survives_one_off_queries(self, example):
+        from repro.service.workload import _BoundedCache
+        from repro.sql.planner import plan_query
+
+        cache = _BoundedCache(limit=2)
+        hot = plan_query(RUNNING_SQL, example.schema, cache=cache)
+        plan_query("select T from Hosp", example.schema, cache=cache)
+        # The hit refreshes recency, so the next one-off insert evicts
+        # the earlier one-off, not the hot plan (identity preserved).
+        assert plan_query(RUNNING_SQL, example.schema, cache=cache) is hot
+        plan_query("select D from Hosp", example.schema, cache=cache)
+        assert plan_query(RUNNING_SQL, example.schema, cache=cache) is hot
+
+    def test_refresh_tables_unknown_subject_leaves_state_intact(
+            self, service, example_tables):
+        from repro.exceptions import DispatchError
+
+        before = service.execute(RUNNING_SQL)
+        richer = Table("Ins", ("C", "P"), [
+            ("s1", 150.0), ("s2", 90.0), ("s3", 200.0),
+            ("s4", 160.0), ("s5", 150.0),
+        ])
+        # The bad name must be rejected before any table is swapped —
+        # a partial update would serve stale caches over new data.
+        with pytest.raises(DispatchError):
+            service.refresh_tables({"I": {"Ins": richer},
+                                    "NOPE": {"X": richer}})
+        again = service.execute(RUNNING_SQL)
+        assert again.result.sorted_rows() == before.result.sorted_rows()
+
     def test_byte_bounded_executors_still_correct(self, example,
                                                   example_tables):
         tiny = QueryService(
