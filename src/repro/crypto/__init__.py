@@ -6,6 +6,15 @@
 * order-preserving encryption (range conditions);
 * RSA signatures and hybrid encryption for sub-query dispatch;
 * key management bridging model-level query keys to cipher material.
+
+Everything on the encrypted-execution hot path is built as columnar
+batch kernels: ciphers derive their subkeys once and expose
+``encrypt_many``/``decrypt_many``, deterministic/OPE encryption is
+equality-aware memoized, and Paillier uses the binomial ``g = n + 1``
+shortcut, a precomputed ``r^n`` obfuscator pool, and CRT decryption
+(with bit-identical ``*_reference`` paths kept alongside).  See
+``benchmarks/bench_crypto.py`` for the measured fast-vs-seed ratios
+that calibrate ``repro.cost.factors``.
 """
 
 from repro.crypto.keymanager import DistributedKeys, KeyMaterial, KeyStore

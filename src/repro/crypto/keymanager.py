@@ -28,7 +28,14 @@ from repro.exceptions import KeyManagementError
 
 @dataclass
 class KeyMaterial:
-    """Concrete key material for one :class:`QueryKey`."""
+    """Concrete key material for one :class:`QueryKey`.
+
+    Cipher instances are memoized per material (``*_cipher`` accessors):
+    constructing a cipher derives its HMAC subkeys, so the engine's
+    bulk column transforms reuse one instance per key instead of paying
+    the derivation per cell — and the deterministic/OPE memos accumulate
+    across calls, which is where the equality-aware speedups live.
+    """
 
     query_key: QueryKey
     symmetric: bytes | None = None
@@ -44,6 +51,48 @@ class KeyMaterial:
     def scheme(self) -> EncryptionScheme:
         """The encryption scheme attached to the key."""
         return self.query_key.scheme
+
+    def deterministic_cipher(self) -> DeterministicCipher:
+        """The memoized :class:`DeterministicCipher` for this key."""
+        return self._cached_cipher("det", DeterministicCipher)
+
+    def randomized_cipher(self) -> RandomizedCipher:
+        """The memoized :class:`RandomizedCipher` for this key."""
+        return self._cached_cipher("rand", RandomizedCipher)
+
+    def ope_cipher(self) -> OpeCipher:
+        """The memoized :class:`OpeCipher` for this key."""
+        return self._cached_cipher("ope", OpeCipher)
+
+    def recovery_cipher(self) -> RandomizedCipher:
+        """The randomized cipher carried alongside OPE tokens.
+
+        OPE tokens only compare; the recoverable plaintext travels in a
+        randomized ciphertext under this derived subkey.
+        """
+        cache = self._cipher_cache()
+        cipher = cache.get("recovery")
+        if cipher is None:
+            cipher = RandomizedCipher(
+                primitives.prf(_require_symmetric(self), b"recovery")
+            )
+            cache["recovery"] = cipher
+        return cipher
+
+    def _cached_cipher(self, slot: str, factory):
+        cache = self._cipher_cache()
+        cipher = cache.get(slot)
+        if cipher is None:
+            cipher = factory(_require_symmetric(self))
+            cache[slot] = cipher
+        return cipher
+
+    def _cipher_cache(self) -> dict[str, object]:
+        cache = self.__dict__.get("_ciphers")
+        if cache is None:
+            cache = {}
+            self.__dict__["_ciphers"] = cache
+        return cache
 
     def public_part(self) -> "KeyMaterial":
         """Key material stripped to what encryption-only holders need.
@@ -134,11 +183,11 @@ class KeyStore:
         material = self.material_for_attribute(attribute)
         scheme = material.scheme
         if scheme is EncryptionScheme.DETERMINISTIC:
-            return DeterministicCipher(_require_symmetric(material))
+            return material.deterministic_cipher()
         if scheme is EncryptionScheme.RANDOMIZED:
-            return RandomizedCipher(_require_symmetric(material))
+            return material.randomized_cipher()
         if scheme is EncryptionScheme.OPE:
-            return OpeCipher(_require_symmetric(material))
+            return material.ope_cipher()
         raise KeyManagementError(
             f"attribute {attribute!r} uses Paillier; use material_for_attribute"
         )

@@ -11,15 +11,27 @@ The scheme works on signed 48-bit integers; fractional values are
 fixed-point scaled, dates map to their ordinal, and strings map through a
 big-endian 6-byte prefix (an order-preserving approximation adequate for
 the simulator — documented in DESIGN.md).
+
+The PRF walk is ~48 levels deep, so a cipher instance keeps two bounded
+memos: a *pivot* memo (rectangle → PRF pivot — every value shares the
+top of the partition tree, so even all-distinct columns reuse most
+levels) and a *value* memo (plaintext ↔ ciphertext — equal plaintexts,
+ubiquitous in range and join columns, pay one walk total).  Both are
+transparent: ciphertexts are bit-identical to the memo-free walk.
 """
 
 from __future__ import annotations
 
 import struct
 from datetime import date
+from typing import Iterable, Sequence
 
 from repro.crypto import primitives
 from repro.exceptions import CryptoError
+
+#: Bounds on the per-cipher memos; a full memo is dropped wholesale.
+_PIVOT_MEMO_MAX = 1 << 16
+_VALUE_MEMO_MAX = 8192
 
 #: Domain: signed 48-bit integers.
 DOMAIN_BITS = 48
@@ -50,6 +62,10 @@ class OpeCipher:
         if len(key) < 16:
             raise CryptoError("OPE keys must be at least 16 bytes")
         self._key = primitives.prf(key, b"ope")
+        self._pivot_memo: dict[tuple[int, int, int, int],
+                               tuple[int, int]] = {}
+        self._encrypt_memo: dict[int, int] = {}
+        self._decrypt_memo: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -57,6 +73,16 @@ class OpeCipher:
     def encrypt(self, value: object) -> int:
         """Map ``value`` to its order-preserving ciphertext."""
         return self._encrypt_int(encode_orderable(value))
+
+    def encrypt_many(self, values: Sequence[object]) -> list[int]:
+        """Bulk :meth:`encrypt`: one dispatch per column, shared memos."""
+        encrypt_int = self._encrypt_int
+        return [encrypt_int(encode_orderable(v)) for v in values]
+
+    def decrypt_many(self, ciphertexts: Iterable[int]) -> list[int]:
+        """Bulk :meth:`decrypt` (encoded integers come back)."""
+        decrypt_int = self._decrypt_int
+        return [decrypt_int(c) for c in ciphertexts]
 
     def decrypt(self, ciphertext: int) -> int:
         """Recover the *encoded integer* plaintext.
@@ -89,6 +115,11 @@ class OpeCipher:
         pseudorandomly from the middle half of the range, keeping the
         recursion balanced while making the mapping key-dependent.
         """
+        memo = self._pivot_memo
+        rectangle = (dlo, dhi, rlo, rhi)
+        cached = memo.get(rectangle)
+        if cached is not None:
+            return cached
         dmid = (dlo + dhi) // 2
         span = rhi - rlo
         quarter = span // 4
@@ -102,36 +133,57 @@ class OpeCipher:
         left_need = dmid - dlo + 1
         right_need = dhi - dmid
         rmid = max(rlo + left_need - 1, min(rmid, rhi - right_need))
+        if len(memo) >= _PIVOT_MEMO_MAX:
+            memo.clear()
+        memo[rectangle] = (dmid, rmid)
         return dmid, rmid
 
     def _encrypt_int(self, value: int) -> int:
+        memo = self._encrypt_memo
+        cached = memo.get(value)
+        if cached is not None:
+            return cached
         if not DOMAIN_MIN <= value <= DOMAIN_MAX:
             raise CryptoError(f"value {value} outside the OPE domain")
         dlo, dhi = DOMAIN_MIN, DOMAIN_MAX
         rlo, rhi = 0, 2 ** RANGE_BITS - 1
+        pivot = self._pivot
         while dlo < dhi:
-            dmid, rmid = self._pivot(dlo, dhi, rlo, rhi)
+            dmid, rmid = pivot(dlo, dhi, rlo, rhi)
             if value <= dmid:
                 dhi, rhi = dmid, rmid
             else:
                 dlo, rlo = dmid + 1, rmid + 1
+        if len(memo) >= _VALUE_MEMO_MAX:
+            memo.clear()
+        memo[value] = rlo
         return rlo
 
     def _decrypt_int(self, ciphertext: int) -> int:
+        memo = self._decrypt_memo
+        cached = memo.get(ciphertext)
+        if cached is not None:
+            return cached
         dlo, dhi = DOMAIN_MIN, DOMAIN_MAX
         rlo, rhi = 0, 2 ** RANGE_BITS - 1
         if not rlo <= ciphertext <= rhi:
             raise CryptoError("ciphertext outside the OPE range")
+        pivot = self._pivot
         while dlo < dhi:
-            dmid, rmid = self._pivot(dlo, dhi, rlo, rhi)
+            dmid, rmid = pivot(dlo, dhi, rlo, rhi)
             if ciphertext <= rmid:
                 dhi, rhi = dmid, rmid
             else:
                 dlo, rlo = dmid + 1, rmid + 1
         # The ciphertext must be the canonical image of the plaintext;
-        # anything else was never produced by this key.
+        # anything else was never produced by this key.  Only canonical
+        # images enter the memo, so forged tokens always re-walk and
+        # raise here.
         if self._encrypt_int(dlo) != ciphertext:
             raise CryptoError("ciphertext not produced under this OPE key")
+        if len(memo) >= _VALUE_MEMO_MAX:
+            memo.clear()
+        memo[ciphertext] = dlo
         return dlo
 
 

@@ -6,6 +6,15 @@ plaintext, plus an HMAC tag for integrity.  This preserves the functional
 contract the paper relies on (key-dependent, invertible, deterministic or
 randomized per mode) and gives the cost model a measurable cost per byte.
 
+The PRF is the innermost loop of every symmetric/OPE operation, so it is
+built for batch throughput: HMAC key schedules are derived once per key
+and reused via ``HMAC.copy()`` (the two key-pad compressions are paid
+once, not per call), the keystream assembles whole 32-byte blocks in a
+single ``join`` instead of growing a ``bytearray``, and ``xor_bytes``
+XORs arbitrary-length strings as two big integers.  All outputs are
+bit-identical to the straightforward per-call/per-byte formulations —
+the property tests in ``tests/crypto`` hold the fast kernels to that.
+
 Also provides canonical value encodings (values of any supported type to
 bytes and back), random key material, and Miller-Rabin prime generation
 for the Paillier and RSA modules.
@@ -22,6 +31,14 @@ from datetime import date
 from repro.exceptions import CryptoError
 
 _BLOCK = 32  # SHA-256 output size
+
+#: Derive-once HMAC key schedules, keyed by the raw key bytes.  An
+#: ``hmac.new`` call hashes both key pads before any data arrives;
+#: caching the keyed state and ``copy()``-ing it per message halves the
+#: compression count for short inputs.  Bounded: a full cache is simply
+#: dropped (key counts are small and stable in practice).
+_HMAC_CACHE_MAX = 512
+_hmac_cache: dict[bytes, "hmac.HMAC"] = {}
 
 #: Type tags for the canonical value encoding.
 _TAG_NONE = b"N"
@@ -43,25 +60,45 @@ def generate_key(length: int = 32) -> bytes:
 
 
 def prf(key: bytes, data: bytes) -> bytes:
-    """HMAC-SHA256 pseudo-random function."""
-    return hmac.new(key, data, hashlib.sha256).digest()
+    """HMAC-SHA256 pseudo-random function (cached key schedule)."""
+    keyed = _hmac_cache.get(key)
+    if keyed is None:
+        if len(_hmac_cache) >= _HMAC_CACHE_MAX:
+            _hmac_cache.clear()
+        keyed = hmac.new(key, digestmod=hashlib.sha256)
+        _hmac_cache[key] = keyed
+    mac = keyed.copy()
+    mac.update(data)
+    return mac.digest()
 
 
 def keystream(key: bytes, iv: bytes, length: int) -> bytes:
-    """A deterministic keystream of ``length`` bytes from (key, iv)."""
-    out = bytearray()
-    counter = 0
-    while len(out) < length:
-        out += prf(key, iv + struct.pack(">Q", counter))
-        counter += 1
-    return bytes(out[:length])
+    """A deterministic keystream of ``length`` bytes from (key, iv).
+
+    Block ``i`` is ``PRF(key, iv ‖ i)``; blocks are assembled in one
+    ``join`` (no incremental ``bytearray`` growth) and the common
+    one-block case returns a single truncated PRF call.
+    """
+    if length <= _BLOCK:
+        return prf(key, iv + _ZERO_COUNTER)[:length]
+    blocks = (length + _BLOCK - 1) // _BLOCK
+    pack = struct.Struct(">Q").pack
+    return b"".join(
+        prf(key, iv + pack(counter)) for counter in range(blocks)
+    )[:length]
+
+
+_ZERO_COUNTER = struct.pack(">Q", 0)
 
 
 def xor_bytes(left: bytes, right: bytes) -> bytes:
-    """Bytewise XOR of two equal-length strings."""
-    if len(left) != len(right):
+    """Bytewise XOR of two equal-length strings (big-integer kernel)."""
+    size = len(left)
+    if size != len(right):
         raise CryptoError("xor operands must have equal length")
-    return bytes(a ^ b for a, b in zip(left, right))
+    return (
+        int.from_bytes(left, "big") ^ int.from_bytes(right, "big")
+    ).to_bytes(size, "big")
 
 
 def encode_value(value: object) -> bytes:

@@ -14,9 +14,19 @@ Two modes over the HMAC-PRF stream cipher of
 
 Both modes append a truncated HMAC tag, so decryption with a wrong key or
 a tampered ciphertext fails loudly instead of returning garbage.
+
+Built for columnar batch work: the enc/mac (and SIV) subkeys are derived
+once at construction, ``encrypt_many``/``decrypt_many`` process whole
+columns with one Python-level dispatch, randomized IVs for a batch come
+from a single ``os.urandom`` draw, and :class:`DeterministicCipher`
+keeps a bounded equality-aware memo — equal plaintexts (exactly what
+equi-join and grouping columns repeat thousands of times) pay the PRF
+walk once.  Ciphertexts are bit-identical to the per-call construction.
 """
 
 from __future__ import annotations
+
+from typing import Iterable, Sequence
 
 from repro.crypto import primitives
 from repro.exceptions import CryptoError
@@ -27,14 +37,25 @@ _ENC_DOMAIN = b"enc"
 _MAC_DOMAIN = b"mac"
 _SIV_DOMAIN = b"siv"
 
+#: Bound on the deterministic encrypt/decrypt memos (entries, per
+#: cipher).  A full memo is dropped wholesale — column value sets are
+#: small relative to this in every workload we run.
+_MEMO_MAX = 8192
+
 
 class _StreamCipher:
-    """Shared IV + keystream + tag machinery for both modes."""
+    """Shared IV + keystream + tag machinery for both modes.
+
+    The per-domain subkeys are derived once here; the seed derived them
+    inside every ``_seal``/``_open`` call.
+    """
 
     def __init__(self, key: bytes) -> None:
         if len(key) < 16:
             raise CryptoError("symmetric keys must be at least 16 bytes")
         self._key = key
+        self._enc_key = primitives.prf(key, _ENC_DOMAIN)
+        self._mac_key = primitives.prf(key, _MAC_DOMAIN)
 
     @property
     def key(self) -> bytes:
@@ -44,13 +65,9 @@ class _StreamCipher:
     def _seal(self, iv: bytes, encoded: bytes) -> bytes:
         body = primitives.xor_bytes(
             encoded,
-            primitives.keystream(
-                primitives.prf(self._key, _ENC_DOMAIN), iv, len(encoded)
-            ),
+            primitives.keystream(self._enc_key, iv, len(encoded)),
         )
-        tag = primitives.prf(
-            primitives.prf(self._key, _MAC_DOMAIN), iv + body
-        )[:_TAG_LEN]
+        tag = primitives.prf(self._mac_key, iv + body)[:_TAG_LEN]
         return iv + body + tag
 
     def _open(self, ciphertext: bytes) -> bytes:
@@ -59,21 +76,27 @@ class _StreamCipher:
         iv = ciphertext[:_IV_LEN]
         body = ciphertext[_IV_LEN:-_TAG_LEN]
         tag = ciphertext[-_TAG_LEN:]
-        expected = primitives.prf(
-            primitives.prf(self._key, _MAC_DOMAIN), iv + body
-        )[:_TAG_LEN]
+        expected = primitives.prf(self._mac_key, iv + body)[:_TAG_LEN]
         if not primitives.constant_time_equal(tag, expected):
             raise CryptoError("ciphertext authentication failed (wrong key?)")
         return primitives.xor_bytes(
             body,
-            primitives.keystream(
-                primitives.prf(self._key, _ENC_DOMAIN), iv, len(body)
-            ),
+            primitives.keystream(self._enc_key, iv, len(body)),
         )
 
     def decrypt(self, ciphertext: bytes) -> object:
         """Recover the plaintext value."""
         return primitives.decode_value(self._open(ciphertext))
+
+    def decrypt_many(self, ciphertexts: Iterable[bytes]) -> list[object]:
+        """Bulk :meth:`decrypt`: one dispatch for a whole column.
+
+        Equivalent to ``[self.decrypt(c) for c in ciphertexts]`` —
+        including the :class:`~repro.exceptions.CryptoError` raised on
+        the first tampered or wrong-key ciphertext.
+        """
+        open_, decode = self._open, primitives.decode_value
+        return [decode(open_(c)) for c in ciphertexts]
 
 
 class RandomizedCipher(_StreamCipher):
@@ -94,9 +117,27 @@ class RandomizedCipher(_StreamCipher):
             primitives.random_bytes(_IV_LEN), primitives.encode_value(value)
         )
 
+    def encrypt_many(self, values: Sequence[object]) -> list[bytes]:
+        """Bulk :meth:`encrypt`; all batch IVs come from one urandom draw."""
+        count = len(values)
+        if not count:
+            return []
+        ivs = primitives.random_bytes(_IV_LEN * count)
+        seal, encode = self._seal, primitives.encode_value
+        return [
+            seal(ivs[i * _IV_LEN:(i + 1) * _IV_LEN], encode(v))
+            for i, v in enumerate(values)
+        ]
+
 
 class DeterministicCipher(_StreamCipher):
     """Equality-preserving deterministic encryption (SIV mode).
+
+    Equal plaintexts produce equal ciphertexts, so both directions are
+    memoized (bounded): a repeated value costs a dict hit instead of a
+    PRF walk.  The decrypt memo only ever holds ciphertexts this cipher
+    itself produced or fully authenticated, so tampered inputs always
+    reach the tag check and raise.
 
     Examples
     --------
@@ -107,10 +148,40 @@ class DeterministicCipher(_StreamCipher):
     False
     """
 
+    def __init__(self, key: bytes) -> None:
+        super().__init__(key)
+        self._siv_key = primitives.prf(key, _SIV_DOMAIN)
+        self._encrypt_memo: dict[bytes, bytes] = {}
+        self._decrypt_memo: dict[bytes, object] = {}
+
     def encrypt(self, value: object) -> bytes:
         """Encrypt ``value`` under a plaintext-derived synthetic IV."""
         encoded = primitives.encode_value(value)
-        iv = primitives.prf(
-            primitives.prf(self._key, _SIV_DOMAIN), encoded
-        )[:_IV_LEN]
-        return self._seal(iv, encoded)
+        memo = self._encrypt_memo
+        token = memo.get(encoded)
+        if token is None:
+            iv = primitives.prf(self._siv_key, encoded)[:_IV_LEN]
+            token = self._seal(iv, encoded)
+            if len(memo) >= _MEMO_MAX:
+                memo.clear()
+            memo[encoded] = token
+        return token
+
+    def encrypt_many(self, values: Sequence[object]) -> list[bytes]:
+        """Bulk :meth:`encrypt`; each distinct plaintext is sealed once."""
+        return [self.encrypt(v) for v in values]
+
+    def decrypt(self, ciphertext: bytes) -> object:
+        """Recover the plaintext value (memoized per ciphertext)."""
+        memo = self._decrypt_memo
+        if ciphertext in memo:
+            return memo[ciphertext]
+        value = primitives.decode_value(self._open(ciphertext))
+        if len(memo) >= _MEMO_MAX:
+            memo.clear()
+        memo[ciphertext] = value
+        return value
+
+    def decrypt_many(self, ciphertexts: Iterable[bytes]) -> list[object]:
+        """Bulk :meth:`decrypt`: repeated tokens decode once."""
+        return [self.decrypt(c) for c in ciphertexts]

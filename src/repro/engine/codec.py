@@ -4,15 +4,24 @@ Shared by the executor (Encrypt/Decrypt operators) and the expression
 evaluator (note 2 of §5: a subject holding the covering key may evaluate
 a condition on plaintext values even when the plan carries the attribute
 encrypted, by decrypting locally).
+
+Two granularities: :func:`encrypt_value`/:func:`decrypt_value` transform
+one cell, while :func:`encrypt_column`/:func:`decrypt_column` transform a
+whole column in one Python-level dispatch — scheme routing, cipher
+construction, and key checks are resolved once per column, and the
+ciphers' bulk APIs (``encrypt_many``/``decrypt_many``) do the rest.  Both
+granularities share the memoized per-material cipher instances of
+:class:`~repro.crypto.keymanager.KeyMaterial`, produce identical
+ciphertexts, and raise the same errors (NULLs pass through untouched;
+already-encrypted inputs and foreign-key ciphertexts fail loudly).
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.core.requirements import EncryptionScheme
-from repro.crypto import primitives
 from repro.crypto.keymanager import KeyMaterial, KeyStore
-from repro.crypto.ope import OpeCipher
-from repro.crypto.symmetric import DeterministicCipher, RandomizedCipher
 from repro.engine.values import EncryptedAggregate, EncryptedValue
 from repro.exceptions import ExecutionError
 
@@ -34,31 +43,69 @@ def encrypt_value(material: KeyMaterial, value: object) -> EncryptedValue:
     if material.symmetric is None:
         raise ExecutionError(f"key {material.name} lacks symmetric material")
     if scheme is EncryptionScheme.DETERMINISTIC:
-        token: object = DeterministicCipher(material.symmetric).encrypt(value)
+        token: object = material.deterministic_cipher().encrypt(value)
         return EncryptedValue(material.name, scheme, token)
     if scheme is EncryptionScheme.RANDOMIZED:
-        token = RandomizedCipher(material.symmetric).encrypt(value)
+        token = material.randomized_cipher().encrypt(value)
         return EncryptedValue(material.name, scheme, token)
     if scheme is EncryptionScheme.OPE:
-        token = OpeCipher(material.symmetric).encrypt(value)
-        recovery = RandomizedCipher(
-            primitives.prf(material.symmetric, b"recovery")
-        ).encrypt(value)
+        token = material.ope_cipher().encrypt(value)
+        recovery = material.recovery_cipher().encrypt(value)
         return EncryptedValue(material.name, scheme, token, recovery)
     raise ExecutionError(f"unsupported scheme {scheme}")
+
+
+def encrypt_column(material: KeyMaterial,
+                   values: Sequence[object]) -> list[object]:
+    """Bulk :func:`encrypt_value` over a whole column.
+
+    NULLs stay NULL (Encrypt passes them through); everything else must
+    be plaintext.  Equivalent to the per-cell loop, one dispatch total.
+    """
+    out: list[object] = [None] * len(values)
+    positions: list[int] = []
+    plain: list[object] = []
+    for index, value in enumerate(values):
+        if value is None:
+            continue
+        if isinstance(value, (EncryptedValue, EncryptedAggregate)):
+            raise ExecutionError("value is already encrypted")
+        positions.append(index)
+        plain.append(value)
+    if not positions:
+        return out
+    scheme = material.scheme
+    name = material.name
+    if scheme is EncryptionScheme.PAILLIER:
+        if material.paillier_public is None:
+            raise ExecutionError(f"key {name} lacks Paillier parts")
+        for value in plain:
+            if not isinstance(value, (int, float)):
+                raise ExecutionError("Paillier encrypts numeric values only")
+        tokens: list[object] = material.paillier_public.encrypt_many(plain)
+    elif material.symmetric is None:
+        raise ExecutionError(f"key {name} lacks symmetric material")
+    elif scheme is EncryptionScheme.DETERMINISTIC:
+        tokens = material.deterministic_cipher().encrypt_many(plain)
+    elif scheme is EncryptionScheme.RANDOMIZED:
+        tokens = material.randomized_cipher().encrypt_many(plain)
+    elif scheme is EncryptionScheme.OPE:
+        ope_tokens = material.ope_cipher().encrypt_many(plain)
+        recoveries = material.recovery_cipher().encrypt_many(plain)
+        for index, token, recovery in zip(positions, ope_tokens, recoveries):
+            out[index] = EncryptedValue(name, scheme, token, recovery)
+        return out
+    else:
+        raise ExecutionError(f"unsupported scheme {scheme}")
+    for index, token in zip(positions, tokens):
+        out[index] = EncryptedValue(name, scheme, token)
+    return out
 
 
 def decrypt_value(material: KeyMaterial, value: object) -> object:
     """Invert :func:`encrypt_value` (also resolves encrypted aggregates)."""
     if isinstance(value, EncryptedAggregate):
-        if material.paillier_private is None:
-            raise ExecutionError(
-                f"key {material.name} lacks the Paillier private part"
-            )
-        total = material.paillier_private.decrypt(value.ciphertext_sum)
-        if value.is_average:
-            return total / value.count
-        return total
+        return _decrypt_aggregate(material, value)
     if not isinstance(value, EncryptedValue):
         raise ExecutionError("value is not encrypted")
     if value.key_name != material.name:
@@ -79,17 +126,94 @@ def decrypt_value(material: KeyMaterial, value: object) -> object:
         raise ExecutionError(f"key {material.name} lacks symmetric material")
     if scheme is EncryptionScheme.DETERMINISTIC:
         assert isinstance(value.token, bytes)
-        return DeterministicCipher(material.symmetric).decrypt(value.token)
+        return material.deterministic_cipher().decrypt(value.token)
     if scheme is EncryptionScheme.RANDOMIZED:
         assert isinstance(value.token, bytes)
-        return RandomizedCipher(material.symmetric).decrypt(value.token)
+        return material.randomized_cipher().decrypt(value.token)
     if scheme is EncryptionScheme.OPE:
         if value.recovery is None:
             raise ExecutionError("OPE value lacks its recovery ciphertext")
-        return RandomizedCipher(
-            primitives.prf(material.symmetric, b"recovery")
-        ).decrypt(value.recovery)
+        return material.recovery_cipher().decrypt(value.recovery)
     raise ExecutionError(f"unsupported scheme {scheme}")
+
+
+def decrypt_column(material: KeyMaterial,
+                   values: Sequence[object]) -> list[object]:
+    """Bulk :func:`decrypt_value` over a whole column.
+
+    The scheme decoder is resolved once for the column's dominant scheme
+    (cells are checked individually, so a stray aggregate or foreign-key
+    ciphertext still gets the per-cell diagnostics).
+    """
+    decoders: dict[EncryptionScheme, object] = {}
+
+    def decoder(scheme: EncryptionScheme):
+        decode = decoders.get(scheme)
+        if decode is None:
+            decode = _column_decoder(material, scheme)
+            decoders[scheme] = decode
+        return decode
+
+    name = material.name
+    out: list[object] = []
+    append = out.append
+    for value in values:
+        if value is None:
+            append(None)
+        elif isinstance(value, EncryptedValue):
+            if value.key_name != name:
+                raise ExecutionError(
+                    f"value encrypted under {value.key_name}, not {name}"
+                )
+            append(decoder(value.scheme)(value))
+        elif isinstance(value, EncryptedAggregate):
+            append(_decrypt_aggregate(material, value))
+        else:
+            raise ExecutionError("value is not encrypted")
+    return out
+
+
+def _column_decoder(material: KeyMaterial, scheme: EncryptionScheme):
+    """One specialized ``EncryptedValue -> plaintext`` closure per scheme."""
+    if scheme is EncryptionScheme.PAILLIER:
+        if material.paillier_private is None:
+            raise ExecutionError(
+                f"key {material.name} lacks the Paillier private part"
+            )
+        private = material.paillier_private
+        return lambda value: private.decrypt(value.token)
+    if material.symmetric is None:
+        raise ExecutionError(f"key {material.name} lacks symmetric material")
+    if scheme is EncryptionScheme.DETERMINISTIC:
+        decrypt = material.deterministic_cipher().decrypt
+        return lambda value: decrypt(value.token)
+    if scheme is EncryptionScheme.RANDOMIZED:
+        decrypt = material.randomized_cipher().decrypt
+        return lambda value: decrypt(value.token)
+    if scheme is EncryptionScheme.OPE:
+        decrypt = material.recovery_cipher().decrypt
+
+        def decode_ope(value: EncryptedValue) -> object:
+            if value.recovery is None:
+                raise ExecutionError(
+                    "OPE value lacks its recovery ciphertext"
+                )
+            return decrypt(value.recovery)
+
+        return decode_ope
+    raise ExecutionError(f"unsupported scheme {scheme}")
+
+
+def _decrypt_aggregate(material: KeyMaterial,
+                       value: EncryptedAggregate) -> object:
+    if material.paillier_private is None:
+        raise ExecutionError(
+            f"key {material.name} lacks the Paillier private part"
+        )
+    total = material.paillier_private.decrypt(value.ciphertext_sum)
+    if value.is_average:
+        return total / value.count
+    return total
 
 
 def try_decrypt(keystore: KeyStore | None, value: object) -> object:

@@ -40,7 +40,12 @@ from repro.core.plan import QueryPlan
 from repro.core.predicates import AttributeComparisonPredicate
 from repro.core.requirements import EncryptionScheme
 from repro.crypto.keymanager import KeyStore
-from repro.engine.codec import decrypt_value, encrypt_value
+from repro.engine.codec import (
+    decrypt_column,
+    decrypt_value,
+    encrypt_column,
+    encrypt_value,
+)
 from repro.engine.expressions import (
     ConstantEncryptor,
     compile_comparison,
@@ -533,24 +538,29 @@ class Executor:
                 raise ExecutionError(
                     f"sum/avg over {scheme} ciphertexts is not supported"
                 )
-            total = encrypted[0]
-            for value in encrypted[1:]:
-                total = total.add(value)
             from repro.crypto.paillier import PaillierCiphertext
 
-            assert isinstance(total.token, PaillierCiphertext)
-            if function is AggregateFunction.SUM:
-                return EncryptedAggregate(
-                    key_name=total.key_name,
-                    ciphertext_sum=total.token,
-                    count=len(encrypted),
-                    is_average=False,
-                )
+            key_name = encrypted[0].key_name
+            tokens = []
+            for value in encrypted:
+                if value.scheme is not EncryptionScheme.PAILLIER:
+                    raise ExecutionError(
+                        "homomorphic addition needs Paillier values"
+                    )
+                if value.key_name != key_name:
+                    raise ExecutionError(
+                        "adding ciphertexts under different keys"
+                    )
+                tokens.append(value.token)
+            # PaillierCiphertext.__radd__ folds sum()'s integer 0 start
+            # value to identity, so the whole group adds in one builtin.
+            total = sum(tokens)
+            assert isinstance(total, PaillierCiphertext)
             return EncryptedAggregate(
-                key_name=total.key_name,
-                ciphertext_sum=total.token,
+                key_name=key_name,
+                ciphertext_sum=total,
                 count=len(encrypted),
-                is_average=True,
+                is_average=function is AggregateFunction.AVG,
             )
         raise ExecutionError(f"unsupported encrypted aggregate {function}")
 
@@ -583,26 +593,25 @@ class Executor:
         return self.keystore
 
     def _encrypt(self, node: Encrypt, child: Table) -> Table:
+        # Whole-column kernels: one Python-level dispatch per column —
+        # scheme routing, cipher lookup, and key checks resolve once,
+        # not once per cell (NULLs pass through inside the kernel).
         keystore = self._require_keystore()
-        transforms = {}
+        replacements = {}
         for attribute in sorted(node.attributes):
             material = keystore.material_for_attribute(attribute)
-            transforms[attribute] = (
-                lambda v, m=material: None if v is None
-                else encrypt_value(m, v)
-            )
-        return child.map_columns(transforms).rename("enc")
+            replacements[attribute] = encrypt_column(
+                material, child.column_values(attribute))
+        return child.replace_columns(replacements).rename("enc")
 
     def _decrypt(self, node: Decrypt, child: Table) -> Table:
         keystore = self._require_keystore()
-        transforms = {}
+        replacements = {}
         for attribute in sorted(node.attributes):
             material = keystore.material_for_attribute(attribute)
-            transforms[attribute] = (
-                lambda v, m=material: None if v is None
-                else decrypt_value(m, v)
-            )
-        return child.map_columns(transforms).rename("dec")
+            replacements[attribute] = decrypt_column(
+                material, child.column_values(attribute))
+        return child.replace_columns(replacements).rename("dec")
 
 
 class _InvalidatingDict(dict):

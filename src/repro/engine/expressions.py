@@ -30,7 +30,6 @@ from repro.core.predicates import (
     Predicate,
 )
 from repro.crypto.keymanager import KeyStore
-from repro.crypto.ope import OpeCipher
 from repro.engine.codec import try_decrypt
 from repro.engine.values import EncryptedValue
 from repro.exceptions import ExecutionError
@@ -187,22 +186,21 @@ class ConstantEncryptor:
         material = self._keystore.material(sample.key_name)
         scheme = sample.scheme
         from repro.core.requirements import EncryptionScheme
-        from repro.crypto.symmetric import DeterministicCipher
 
         if scheme is EncryptionScheme.DETERMINISTIC:
             if material.symmetric is None:
                 raise ExecutionError(
                     f"key {material.name} lacks symmetric material"
                 )
-            token: object = DeterministicCipher(
-                material.symmetric
-            ).encrypt(constant)
+            # Memoized per-material cipher: the subkeys derive once and
+            # the deterministic memo is shared with the column kernels.
+            token: object = material.deterministic_cipher().encrypt(constant)
         elif scheme is EncryptionScheme.OPE:
             if material.symmetric is None:
                 raise ExecutionError(
                     f"key {material.name} lacks symmetric material"
                 )
-            token = OpeCipher(material.symmetric).encrypt(constant)
+            token = material.ope_cipher().encrypt(constant)
         else:
             raise ExecutionError(
                 f"constants cannot be compared under {scheme}"
@@ -212,6 +210,50 @@ class ConstantEncryptor:
         )
         self._cache[cache_key] = value
         return value
+
+    def match_tokens(self, sample: EncryptedValue,
+                     constants: tuple[object, ...]) -> frozenset[object]:
+        """The encrypted-token set of an IN collection, memoized.
+
+        Bulk-encrypts the whole collection under the sample's key via
+        the ciphers' ``encrypt_many`` (one dispatch), so the per-row IN
+        check is a single set-membership test.
+        """
+        cache_key = (sample.key_name, sample.scheme, "in",
+                     tuple(_freeze(c) for c in constants))
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        if self._keystore is None \
+                or sample.key_name not in self._keystore.names():
+            raise ExecutionError(
+                f"cannot encrypt constant: no key {sample.key_name} held"
+            )
+        from repro.core.requirements import EncryptionScheme
+
+        material = self._keystore.material(sample.key_name)
+        if sample.scheme is EncryptionScheme.DETERMINISTIC:
+            if material.symmetric is None:
+                raise ExecutionError(
+                    f"key {material.name} lacks symmetric material"
+                )
+            tokens = frozenset(
+                material.deterministic_cipher().encrypt_many(constants)
+            )
+        elif sample.scheme is EncryptionScheme.OPE:
+            if material.symmetric is None:
+                raise ExecutionError(
+                    f"key {material.name} lacks symmetric material"
+                )
+            tokens = frozenset(
+                material.ope_cipher().encrypt_many(constants)
+            )
+        else:
+            raise ExecutionError(
+                f"constants cannot be compared under {sample.scheme}"
+            )
+        self._cache[cache_key] = tokens  # type: ignore[assignment]
+        return tokens
 
 
 def compile_predicate(predicate: Predicate, columns: tuple[str, ...],
@@ -286,12 +328,9 @@ def _compile_value_check(basic: AttributeValuePredicate, position: int,
         if isinstance(value, EncryptedValue) and not constant_encrypted:
             if in_collection:
                 try:
-                    tokens = {
-                        encryptor.match_constant(
-                            value, ComparisonOp.EQ, item
-                        ).token
-                        for item in constant  # type: ignore[union-attr]
-                    }
+                    tokens = encryptor.match_tokens(
+                        value, tuple(constant)  # type: ignore[arg-type]
+                    )
                     return value.token in tokens
                 except ExecutionError:
                     # Note 2 (§5): the key holder evaluates on plaintext

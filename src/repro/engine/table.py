@@ -248,6 +248,42 @@ class Table:
                 rows.append(tuple(cells))
         return Table._from_trusted(self.name, self.columns, rows)
 
+    def replace_columns(self, replacements: Mapping[str, Sequence[object]],
+                        ) -> "Table":
+        """Swap whole columns for precomputed value lists, one zip pass.
+
+        This is the columnar counterpart of :meth:`map_columns`: the
+        caller transforms ``column_values`` in bulk (one Python-level
+        dispatch per column — the Encrypt/Decrypt operators do this
+        through the codec's column kernels) and this method stitches the
+        new columns back into rows.  Each replacement list must match
+        the row count.
+        """
+        if not replacements:
+            return self
+        count = len(self.rows)
+        items = []
+        for column, column_values in replacements.items():
+            if len(column_values) != count:
+                raise ExecutionError(
+                    f"replacement for column {column!r} has "
+                    f"{len(column_values)} values for {count} rows"
+                )
+            items.append((self.column_position(column), column_values))
+        if len(items) == 1:
+            position, column_values = items[0]
+            rows = [
+                row[:position] + (value,) + row[position + 1:]
+                for row, value in zip(self.rows, column_values)
+            ]
+        else:
+            columns_data = [list(c) for c in zip(*self.rows)] if count \
+                else [[] for _ in self.columns]
+            for position, column_values in items:
+                columns_data[position] = list(column_values)
+            rows = [tuple(r) for r in zip(*columns_data)] if count else []
+        return Table._from_trusted(self.name, self.columns, rows)
+
     def rename(self, name: str) -> "Table":
         """The same content under a new name (rows list is copied)."""
         return Table._from_trusted(name, self.columns, list(self.rows))
