@@ -44,8 +44,9 @@ results keyed by the plan fingerprint and the policy version.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping
 
 from repro.core.attrsets import AttributeUniverse
 from repro.core.authorization import Policy, Subject, SubjectView
@@ -56,7 +57,11 @@ from repro.core.candidates import (
     user_can_receive_result,
 )
 from repro.core.plan import NodeMap
-from repro.core.plancache import AssignmentCache, assignment_cache_key
+from repro.core.plancache import (
+    AssignmentCache,
+    assignment_cache_key,
+    plan_dependencies,
+)
 from repro.core.extension import ExtendedPlan, minimally_extend
 from repro.core.keys import (
     KeyAssignment,
@@ -133,16 +138,23 @@ def assign(
     strategy: str = "dp",
     search_impl: str = "fast",
     cache: AssignmentCache | None = None,
+    edge_cache: "EdgeTableCache | None" = None,
+    candidates: "CandidateAssignment | Callable[[], CandidateAssignment] "
+                "| None" = None,
 ) -> AssignmentResult:
     """Run the full §6 pipeline and return the cheapest authorized plan.
 
     ``search_impl`` selects the DP implementation: ``"fast"`` (decomposed
     memoized tables, the default) or ``"reference"`` (the direct per-pair
     computation, kept for benchmarking).  ``cache`` optionally memoises
-    full results across calls: hits require an identical plan structure,
-    the same live policy object at the same
-    :attr:`~repro.core.authorization.Policy.version`, and the same price
-    list/topology objects.  Cached results are shared, not copied.
+    full results across calls: hits require an identical plan structure
+    and the same live policy/price-list/topology objects, and survive
+    policy mutations whose deltas do not touch the plan's dependency
+    footprint (see :mod:`repro.core.plancache`).  ``edge_cache`` shares
+    decomposed DP edge tables across queries.  ``candidates`` supplies a
+    precomputed (or incrementally maintained) Λ — pass a callable to
+    compute it lazily, only on a cache miss.  Cached results are shared,
+    not copied.
 
     Raises :class:`NoCandidateError` when some operation has no candidate
     and :class:`UnauthorizedError` when the querying user may not receive
@@ -156,17 +168,22 @@ def assign(
     if requirements is None:
         requirements = infer_plaintext_requirements(plan, capabilities)
     cache_key = None
+    depends = None
     if cache is not None:
         cache_key = assignment_cache_key(
             plan, policy, subject_names, user, owners,
             f"{strategy}:{search_impl}", capabilities, requirements,
         )
         cache_context = (policy, prices, topology)
-        hit = cache.get(cache_key, cache_context)
+        depends = plan_dependencies(plan, subject_names, user, owners)
+        hit = cache.get(cache_key, cache_context, policy=policy)
         if hit is not None:
             return _rebind_result(hit, plan)
-    candidates = compute_candidates(plan, policy, subject_names,
-                                    requirements)
+    if candidates is None:
+        candidates = compute_candidates(plan, policy, subject_names,
+                                        requirements)
+    elif callable(candidates):
+        candidates = candidates()
     candidates.require_nonempty()
     if not user_can_receive_result(plan, policy, user, candidates.min_views):
         raise UnauthorizedError(
@@ -178,6 +195,8 @@ def assign(
     topology = topology or NetworkTopology.paper_defaults(user)
     estimator = PlanEstimator(schemes)
     model = CostModel(prices, topology, estimator)
+    if edge_cache is not None:
+        edge_cache.begin(policy)
     searcher = _AssignmentSearch(
         plan=plan,
         policy=policy,
@@ -189,6 +208,7 @@ def assign(
         owners=dict(owners or {}),
         user=user,
         search_impl=search_impl,
+        edge_cache=edge_cache,
     )
     proposals: list[dict[PlanNode, str]] = []
     if strategy == "dp":
@@ -246,7 +266,8 @@ def assign(
             best = result
     assert best is not None
     if cache is not None and cache_key is not None:
-        cache.put(cache_key, cache_context, best)
+        cache.put(cache_key, cache_context, best, policy=policy,
+                  depends=depends)
     return best
 
 
@@ -316,7 +337,8 @@ class _AssignmentSearch:
                  schemes: Mapping[str, EncryptionScheme],
                  prices: PriceList, estimator: PlanEstimator,
                  owners: dict[str, str], user: str,
-                 search_impl: str = "fast") -> None:
+                 search_impl: str = "fast",
+                 edge_cache: "EdgeTableCache | None" = None) -> None:
         self.plan = plan
         self.policy = policy
         self.candidates = candidates
@@ -327,12 +349,16 @@ class _AssignmentSearch:
         self.owners = owners
         self.user = user
         self.search_impl = search_impl
+        self.edge_cache = edge_cache
         self.estimates = estimator.estimate(plan)
         self._lineage = derived_lineage(plan)
         self._views: dict[str, SubjectView] = {}
         self._requirement_map: NodeMap[frozenset[str]] = NodeMap(requirements)
         # Fast-path state, shared across the three portfolio passes.
-        self.universe = AttributeUniverse()
+        # With a cross-query edge cache, masks live in *its* universe so
+        # cached tables and this search's subject masks stay congruent.
+        self.universe = edge_cache.universe if edge_cache is not None \
+            else AttributeUniverse()
         self._subject_masks: dict[str, tuple[int, int, float, float]] = {}
         self._node_cost_cache: dict[tuple[int, str], float] = {}
         self._edge_tables: dict[tuple[int, int, str], _EdgeTable] = {}
@@ -379,11 +405,29 @@ class _AssignmentSearch:
         return data
 
     def edge_table(self, child: PlanNode, parent: PlanNode) -> "_EdgeTable":
-        """The decomposed cost tables of one plan edge (memoized per mode)."""
+        """The decomposed cost tables of one plan edge (memoized per mode).
+
+        With an :class:`EdgeTableCache` attached, structurally matching
+        edges of other queries share the table; the cache reconciles its
+        receiver rows against policy deltas and the identity check in
+        :meth:`_EdgeTable.receiver` guards everything else.
+        """
         key = (id(child), id(parent), self.edge_scheme_mode)
         table = self._edge_tables.get(key)
         if table is None:
-            table = _EdgeTable(self, child, parent, self.edge_scheme_mode)
+            estimate = self.estimates[id(child)]
+            operand_attrs = parent.operand_attributes()
+            ap_attrs = self.plaintext_needed(parent)
+            if self.edge_cache is not None:
+                table = self.edge_cache.table(
+                    estimate, operand_attrs, ap_attrs, self.schemes,
+                    self.edge_scheme_mode,
+                )
+            else:
+                table = _EdgeTable(self.universe, estimate, operand_attrs,
+                                   ap_attrs, self.schemes,
+                                   self.edge_scheme_mode)
+            table.masks_of = self.subject_masks
             self._edge_tables[key] = table
         return table
 
@@ -858,15 +902,23 @@ class _AssignmentSearch:
 
 
 class _ReceiverEntry:
-    """Per-(edge, receiver) precomputation of the decomposed edge cost."""
+    """Per-(edge, receiver) precomputation of the decomposed edge cost.
+
+    ``identity`` records the (plain mask, enc mask, cpu rate) the entry
+    was built from; :meth:`_EdgeTable.receiver` rebuilds the entry when
+    the subject's current masks no longer match, which makes cached
+    tables safe across policy and price changes by construction.
+    """
 
     __slots__ = ("needs_mask", "enc_w", "delta_w", "total_enc_seconds",
-                 "vol_needs_bytes", "dec_base_seconds", "cpu_rate", "memo")
+                 "vol_needs_bytes", "dec_base_seconds", "cpu_rate",
+                 "identity", "memo")
 
     def __init__(self, needs_mask: int, enc_w: dict[int, float],
                  delta_w: dict[int, float], total_enc_seconds: float,
                  vol_needs_bytes: float, dec_base_seconds: float,
-                 cpu_rate: float) -> None:
+                 cpu_rate: float,
+                 identity: tuple[int, int, float]) -> None:
         self.needs_mask = needs_mask
         self.enc_w = enc_w
         self.delta_w = delta_w
@@ -874,6 +926,7 @@ class _ReceiverEntry:
         self.vol_needs_bytes = vol_needs_bytes
         self.dec_base_seconds = dec_base_seconds
         self.cpu_rate = cpu_rate
+        self.identity = identity
         #: sender-encrypted-mask → (enc overlap s, extra volume B, extra dec s)
         self.memo: dict[int, tuple[float, float, float]] = {}
 
@@ -897,33 +950,38 @@ class _EdgeTable:
 
     ``cost(sender, receiver)`` is then three multiply-adds, reproducing
     the reference formula exactly (up to float reassociation).
+
+    Construction is pure-value — the table reads only the child's
+    estimate, the parent's operand/``Ap`` attributes, the scheme map and
+    the mode — so structurally matching edges of *different* queries can
+    share one table through :class:`EdgeTableCache`.  The policy- and
+    price-dependent receiver parts are rebuilt lazily: every lookup
+    passes the subject's current ``(plain, enc, cpu)`` masks and a stale
+    entry (mismatching identity) is rebuilt on the spot, so a cached
+    table can never serve receiver rows computed under an older policy.
     """
 
-    __slots__ = ("search", "parent", "mode", "rows", "bits", "visible_mask",
+    __slots__ = ("mode", "rows", "bits", "visible_mask",
                  "demand_bits", "none_mask", "base_bytes", "ap_mask", "dec_w",
                  "enc_rand", "enc_demand", "delta_rand", "delta_demand",
-                 "receivers")
+                 "receivers", "masks_of")
 
-    def __init__(self, search: "_AssignmentSearch", child: PlanNode,
-                 parent: PlanNode, mode: str) -> None:
-        self.search = search
-        self.parent = parent
+    def __init__(self, universe: AttributeUniverse, estimate: NodeEstimate,
+                 operand_attrs: Iterable[str], ap_attrs: Iterable[str],
+                 schemes: Mapping[str, EncryptionScheme], mode: str) -> None:
         self.mode = mode
-        estimate = search.estimates[id(child)]
-        universe = search.universe
         rows = estimate.rows
         self.rows = rows
         self.bits = tuple(universe.bit(a) for a in estimate.plain_width)
         self.visible_mask = universe.mask(estimate.plain_width)
-        operand_mask = universe.mask(parent.operand_attributes())
+        operand_mask = universe.mask(operand_attrs)
         self.none_mask = universe.mask(
             a for a in estimate.plain_width if estimate.scheme.get(a) is None
         )
         self.base_bytes = rows * sum(
             estimate.width_of(a) for a in estimate.plain_width
         )
-        self.ap_mask = (universe.mask(search.plaintext_needed(parent))
-                        & self.visible_mask)
+        self.ap_mask = universe.mask(ap_attrs) & self.visible_mask
         # An attribute travels under one of two schemes: randomized, or
         # the scheme its capability demands (mode/operand dependent) —
         # precompute both weight tables so receiver entries are lookups.
@@ -937,7 +995,7 @@ class _EdgeTable:
         delta_demand: dict[int, float] = {}
         dec_w: dict[int, float] = {}
         for attribute, bit in zip(estimate.plain_width, self.bits):
-            demand_scheme = search.schemes.get(
+            demand_scheme = schemes.get(
                 attribute, EncryptionScheme.DETERMINISTIC)
             if conservative or bit & operand_mask:
                 demand_bits |= bit
@@ -959,13 +1017,16 @@ class _EdgeTable:
         self.delta_demand = delta_demand
         self.dec_w = dec_w
         self.receivers: dict[str, _ReceiverEntry] = {}
+        #: subject name → (plain mask, enc mask, cpu $/s, net $/byte);
+        #: rebound by every search that picks the table up.
+        self.masks_of = None
 
     def receiver(self, name: str) -> _ReceiverEntry:
-        """The receiver part for one subject (built once per edge)."""
+        """The receiver part for one subject (rebuilt when its masks move)."""
+        plain_mask, enc_mask, cpu_rate, _net = self.masks_of(name)
+        identity = (plain_mask, enc_mask, cpu_rate)
         entry = self.receivers.get(name)
-        if entry is None:
-            plain_mask, enc_mask, cpu_rate, _net = \
-                self.search.subject_masks(name)
+        if entry is None or entry.identity != identity:
             needs = enc_mask & self.visible_mask
             # _edge_scheme per attribute, mask-backed: attributes the
             # receiver may see plaintext travel randomized; otherwise the
@@ -998,7 +1059,7 @@ class _EdgeTable:
                 if bit & needs and bit & ap_mask:
                     dec_base += dec_w[bit]
             entry = _ReceiverEntry(needs, enc_w, delta_w, total_enc,
-                                   vol_needs, dec_base, cpu_rate)
+                                   vol_needs, dec_base, cpu_rate, identity)
             self.receivers[name] = entry
         return entry
 
@@ -1036,8 +1097,7 @@ class _EdgeTable:
 
     def cost(self, sender: str, receiver: str) -> float:
         """Exact edge cost of handing the child's output sender→receiver."""
-        _plain, sender_enc, sender_cpu, sender_net = \
-            self.search.subject_masks(sender)
+        _plain, sender_enc, sender_cpu, sender_net = self.masks_of(sender)
         entry = self.receiver(receiver)
         mask = sender_enc & self.visible_mask
         parts = entry.memo.get(mask)
@@ -1050,3 +1110,146 @@ class _EdgeTable:
                      * sender_net)
         cost += entry.cpu_rate * (entry.dec_base_seconds + dec_extra)
         return cost
+
+
+class EdgeTableCache:
+    """Cross-query cache of decomposed edge-cost tables.
+
+    Distinct queries over the same federation keep re-deriving identical
+    DP substructure: an edge whose child estimate (rows, per-attribute
+    widths and encryption states), parent operand/``Ap`` attributes,
+    scheme choices and mode all match produces the *same*
+    :class:`_EdgeTable` regardless of which plan it came from.  This
+    cache keys tables by exactly that value signature, over one shared
+    :class:`AttributeUniverse` so masks from different queries are
+    congruent, and lets every :func:`assign` call that passes
+    ``edge_cache=`` reuse them.
+
+    Policy churn is reconciled per subject: :meth:`begin` walks the
+    delta journal and drops the receiver rows (the only policy-dependent
+    part of a table) of touched subjects from tables whose visible
+    attributes intersect the delta's touched mask — the (profile-mask,
+    view-mask) granularity of the reconcile contract in
+    :mod:`repro.core.plancache`.  The identity check in
+    :meth:`_EdgeTable.receiver` independently guarantees correctness
+    (a stale row can never be served), so the reconcile pass is about
+    hygiene and observability, not safety.
+    """
+
+    def __init__(self, maxsize: int = 512) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.universe = AttributeUniverse()
+        self._tables: "OrderedDict[tuple, _EdgeTable]" = OrderedDict()
+        self._policy: Policy | None = None
+        self._version: int | None = None
+        self._hits = 0
+        self._misses = 0
+        self._kept = 0
+        self._patched = 0
+        self._evicted = 0
+        self._flushed = 0
+
+    @staticmethod
+    def signature(estimate: NodeEstimate, operand_attrs: Iterable[str],
+                  ap_attrs: Iterable[str],
+                  schemes: Mapping[str, EncryptionScheme],
+                  mode: str) -> tuple:
+        """The value signature capturing every input of ``_EdgeTable``."""
+        visible = tuple(sorted(estimate.plain_width))
+        per_attr = tuple(
+            (
+                name,
+                estimate.plain_width[name],
+                getattr(estimate.scheme.get(name), "value", None),
+                schemes.get(name, EncryptionScheme.DETERMINISTIC).value,
+            )
+            for name in visible
+        )
+        return (
+            mode,
+            estimate.rows,
+            per_attr,
+            tuple(sorted(frozenset(operand_attrs) & set(visible))),
+            tuple(sorted(frozenset(ap_attrs) & set(visible))),
+        )
+
+    def table(self, estimate: NodeEstimate, operand_attrs: Iterable[str],
+              ap_attrs: Iterable[str],
+              schemes: Mapping[str, EncryptionScheme],
+              mode: str) -> _EdgeTable:
+        """The cached table for this edge signature, built on first use."""
+        key = self.signature(estimate, operand_attrs, ap_attrs, schemes,
+                             mode)
+        table = self._tables.get(key)
+        if table is None:
+            self._misses += 1
+            table = _EdgeTable(self.universe, estimate, operand_attrs,
+                               ap_attrs, schemes, mode)
+            self._tables[key] = table
+            while len(self._tables) > self.maxsize:
+                self._tables.popitem(last=False)
+        else:
+            self._hits += 1
+            self._tables.move_to_end(key)
+        return table
+
+    def begin(self, policy: Policy) -> None:
+        """Reconcile cached receiver rows against ``policy``'s deltas.
+
+        Called at the start of every search using this cache.  A policy
+        object switch or a truncated journal drops every receiver row
+        (``flushed``); otherwise each delta surgically drops the touched
+        subject's rows from tables whose visible attributes intersect
+        the delta's touched mask (``evicted``/``patched``), leaving
+        disjoint rows warm (``kept``).
+        """
+        if policy is self._policy and policy.version == self._version:
+            return
+        deltas = None if self._policy is not policy \
+            else policy.deltas_since(self._version)
+        self._policy = policy
+        self._version = policy.version
+        if deltas is None:
+            for table in self._tables.values():
+                self._flushed += len(table.receivers)
+                table.receivers.clear()
+            return
+        universe = self.universe
+        for table in self._tables.values():
+            before = len(table.receivers)
+            for delta in deltas:
+                if not table.receivers:
+                    break
+                if not (universe.delta_mask(delta) & table.visible_mask):
+                    continue
+                if delta.any_subject:
+                    self._evicted += len(table.receivers)
+                    table.receivers.clear()
+                elif table.receivers.pop(delta.subject, None) is not None:
+                    self._evicted += 1
+            self._kept += len(table.receivers)
+            self._patched += 1 if len(table.receivers) != before else 0
+
+    def clear(self) -> None:
+        """Drop all tables (statistics are kept)."""
+        self._tables.clear()
+        self._policy = None
+        self._version = None
+
+    def info(self) -> dict[str, int]:
+        """Hit/miss/size counters plus reconcile statistics."""
+        return {
+            "tables": len(self._tables),
+            "maxsize": self.maxsize,
+            "hits": self._hits,
+            "misses": self._misses,
+            "reconcile_kept": self._kept,
+            "reconcile_patched": self._patched,
+            "reconcile_evicted": self._evicted,
+            "reconcile_flushed": self._flushed,
+        }
+
+    def __len__(self) -> int:
+        return len(self._tables)

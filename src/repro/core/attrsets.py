@@ -47,7 +47,7 @@ from typing import TYPE_CHECKING, Iterable
 from repro.exceptions import ProfileError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
-    from repro.core.authorization import SubjectView
+    from repro.core.authorization import PolicyDelta, SubjectView
     from repro.core.equivalence import EquivalenceClasses
     from repro.core.profile import RelationProfile
 
@@ -253,7 +253,8 @@ class AttributeUniverse:
     ['C', 'S']
     """
 
-    __slots__ = ("_bits", "_names", "_profiles", "_views", "_equivalences")
+    __slots__ = ("_bits", "_names", "_profiles", "_views", "_equivalences",
+                 "_deltas")
 
     def __init__(self, attributes: Iterable[str] = ()) -> None:
         self._bits: dict[str, int] = {}
@@ -261,6 +262,7 @@ class AttributeUniverse:
         self._profiles: dict["RelationProfile", MaskProfile] = {}
         self._views: dict["SubjectView", MaskView] = {}
         self._equivalences: dict["EquivalenceClasses", tuple[int, ...]] = {}
+        self._deltas: dict[object, int] = {}
         for name in attributes:
             self.bit(name)
 
@@ -332,6 +334,38 @@ class AttributeUniverse:
             cached = tuple(sorted(self.mask(c) for c in equivalences))
             self._equivalences[equivalences] = cached
         return cached
+
+    def delta_mask(self, delta: "PolicyDelta") -> int:
+        """Touched-attribute mask of a policy delta (memoised).
+
+        Deltas are frozen dataclasses, so memoising by the delta object
+        itself is safe; journals are bounded, which bounds this memo.
+        """
+        cached = self._deltas.get(delta)
+        if cached is None:
+            cached = self.mask(delta.touched)
+            self._deltas[delta] = cached
+        return cached
+
+
+def deltas_touch_masked(universe: AttributeUniverse,
+                        deltas: "Iterable[PolicyDelta]",
+                        subjects: "frozenset[str] | set[str]",
+                        attr_mask: int | None = None) -> bool:
+    """Whether any delta may change how ``subjects`` see ``attr_mask``.
+
+    The mask-level form of :meth:`PolicyDelta.touches`: a delta is
+    relevant when its subject matches (``ANY`` matches every subject)
+    and, if ``attr_mask`` is given, its touched mask intersects it.
+    Conservative by construction — ``False`` guarantees the restricted
+    views are identical across every delta in the stream.
+    """
+    for delta in deltas:
+        if not delta.any_subject and delta.subject not in subjects:
+            continue
+        if attr_mask is None or universe.delta_mask(delta) & attr_mask:
+            return True
+    return False
 
 
 def relation_authorized(view: MaskView, profile: MaskProfile) -> bool:

@@ -147,6 +147,56 @@ class SubjectView:
         return f"P_{self.subject}={p}  E_{self.subject}={e}"
 
 
+@dataclass(frozen=True)
+class PolicyDelta:
+    """One journalled policy mutation and what it may have changed.
+
+    ``version`` is the policy version *after* the mutation applied.
+    ``touched`` over-approximates the attribute names whose visibility
+    may have changed for the affected subjects: the mutated rule's own
+    ``P ∪ E``, plus — because an explicit rule shadows the relation's
+    :data:`ANY` default — the attributes of the default rule the grant
+    displaced or the revocation restored.
+
+    The affected subjects are ``{subject}`` for an explicit rule, and
+    *unknown* (every subject without an explicit rule on the relation,
+    including subjects named only in the future) for an :data:`ANY`
+    mutation; :meth:`touches` is correspondingly conservative.
+    """
+
+    version: int
+    kind: str  # "grant" | "revoke"
+    relation: str
+    subject: str
+    touched: frozenset[str]
+
+    @property
+    def any_subject(self) -> bool:
+        """Whether the mutation hit the :data:`ANY` default rule."""
+        return self.subject == ANY
+
+    def touches(self, subjects: "frozenset[str] | set[str]",
+                attributes: frozenset[str] | None = None) -> bool:
+        """Whether this delta may change how ``subjects`` see ``attributes``.
+
+        ``attributes=None`` means "any attribute" (subject-granularity
+        callers).  Must stay conservative: a ``False`` is a promise that
+        every view in ``subjects``, restricted to ``attributes``, is
+        bit-identical across the mutation.
+        """
+        if not self.any_subject and self.subject not in subjects:
+            return False
+        if attributes is None:
+            return True
+        return bool(self.touched & attributes)
+
+
+#: Default bound on the per-policy delta journal.  Old deltas beyond it
+#: are dropped; caches that fell further behind must flush instead of
+#: reconciling (``deltas_since`` returns ``None``).
+DEFAULT_JOURNAL_LIMIT = 512
+
+
 @dataclass
 class Policy:
     """All authorization rules in force, indexed by relation and subject.
@@ -157,22 +207,62 @@ class Policy:
     with no explicit rule on that relation (closed policy otherwise).
 
     The policy carries a monotone :attr:`version` counter, bumped by
-    every :meth:`grant` and :meth:`revoke`.  Caches keyed on the version
-    (notably :class:`repro.core.plancache.AssignmentCache`) are thereby
-    invalidated by any policy change without inspecting the rules.
+    every effective :meth:`grant` and :meth:`revoke`, plus a bounded
+    **delta journal** of :class:`PolicyDelta` records.  Caches keyed on
+    the version (notably :class:`repro.core.plancache.AssignmentCache`
+    and the runtime caches of
+    :class:`repro.distributed.runtime.DistributedRuntime`) call
+    :meth:`deltas_since` to decide *surgically* which entries a policy
+    change actually affects instead of flushing wholesale.  No-op
+    mutations — granting a rule identical to the one in force, or
+    revoking a rule that does not exist — are version- and
+    journal-neutral.
     """
 
     schema: Schema | None = None
     _rules: dict[str, dict[str, Authorization]] = field(default_factory=dict)
     _version: int = 0
+    journal_limit: int = DEFAULT_JOURNAL_LIMIT
+    _journal: list[PolicyDelta] = field(default_factory=list)
 
     @property
     def version(self) -> int:
         """Monotone change counter (grants and revocations bump it)."""
         return self._version
 
+    def _record_delta(self, kind: str, relation: str, subject: str,
+                      touched: frozenset[str]) -> None:
+        """Bump the version and journal one mutation (bounded)."""
+        self._version += 1
+        self._journal.append(PolicyDelta(
+            version=self._version, kind=kind, relation=relation,
+            subject=subject, touched=touched,
+        ))
+        while len(self._journal) > max(0, self.journal_limit):
+            self._journal.pop(0)
+
+    def deltas_since(self, version: int) -> tuple[PolicyDelta, ...] | None:
+        """The journalled deltas after ``version``, oldest first.
+
+        Returns ``()`` when ``version`` is current, and ``None`` when the
+        journal no longer reaches back to ``version`` (or ``version`` is
+        from the future) — the caller must then treat *everything* as
+        potentially changed and flush.
+        """
+        if version == self._version:
+            return ()
+        if version > self._version or \
+                version < self._version - len(self._journal):
+            return None
+        return tuple(d for d in self._journal if d.version > version)
+
     def grant(self, authorization: Authorization) -> Authorization:
-        """Register one rule; rejects duplicates for the same pair."""
+        """Register one rule; rejects conflicting duplicates for the pair.
+
+        Granting a rule *identical* to the one already in force is a
+        no-op: the existing rule is returned and neither the version nor
+        the journal moves (downstream caches stay warm).
+        """
         if self.schema is not None and authorization.relation not in self.schema:
             raise AuthorizationError(
                 f"authorization references unknown relation "
@@ -189,13 +279,27 @@ class Policy:
                     f"unknown attributes {sorted(unknown)}"
                 )
         per_relation = self._rules.setdefault(authorization.relation, {})
-        if authorization.subject in per_relation:
+        existing = per_relation.get(authorization.subject)
+        if existing is not None:
+            if existing == authorization:
+                return existing
             raise AuthorizationError(
                 f"duplicate authorization for subject {authorization.subject} "
                 f"on relation {authorization.relation}"
             )
+        # An explicit grant shadows the relation's ANY default for this
+        # subject, so the displaced default's attributes may *lose*
+        # visibility — they belong in the delta's touched set.
+        displaced: frozenset[str] = frozenset()
+        if authorization.subject != ANY:
+            default = per_relation.get(ANY)
+            if default is not None:
+                displaced = default.plaintext | default.encrypted
         per_relation[authorization.subject] = authorization
-        self._version += 1
+        self._record_delta(
+            "grant", authorization.relation, authorization.subject,
+            authorization.plaintext | authorization.encrypted | displaced,
+        )
         return authorization
 
     def grant_all(self, authorizations: Iterable[Authorization]) -> None:
@@ -204,12 +308,13 @@ class Policy:
             self.grant(authorization)
 
     def revoke(self, relation: str | Relation,
-               subject: str | Subject) -> Authorization:
+               subject: str | Subject) -> Authorization | None:
         """Remove and return the rule for (relation, subject).
 
-        Raises :class:`AuthorizationError` when no explicit rule exists
-        for the pair (the :data:`ANY` default must be revoked as subject
-        :data:`ANY` explicitly).  Bumps :attr:`version`.
+        Returns ``None`` — version- and journal-neutrally — when no
+        explicit rule exists for the pair (the :data:`ANY` default must
+        be revoked as subject :data:`ANY` explicitly).  Bumps
+        :attr:`version` otherwise.
         """
         relation_name = relation.name if isinstance(relation, Relation) \
             else relation
@@ -217,14 +322,21 @@ class Policy:
             else subject
         per_relation = self._rules.get(relation_name)
         if per_relation is None or subject_name not in per_relation:
-            raise AuthorizationError(
-                f"no authorization for subject {subject_name} on relation "
-                f"{relation_name} to revoke"
-            )
+            return None
         rule = per_relation.pop(subject_name)
+        # Revoking an explicit rule un-shadows the ANY default: the
+        # subject may *gain* the default's attributes.
+        restored: frozenset[str] = frozenset()
+        if subject_name != ANY:
+            default = per_relation.get(ANY)
+            if default is not None:
+                restored = default.plaintext | default.encrypted
         if not per_relation:
             del self._rules[relation_name]
-        self._version += 1
+        self._record_delta(
+            "revoke", relation_name, subject_name,
+            rule.plaintext | rule.encrypted | restored,
+        )
         return rule
 
     def rule_for(self, relation: str, subject: str | Subject) -> Authorization | None:

@@ -37,9 +37,13 @@ because each fragment's output depends only on its inputs.
 The runtime is also built to be *long-lived*: per-subject executors (and
 their memoized subtree results) persist across ``run`` calls keyed by the
 delivered key material, and whole fragment results are reused when the
-same fragment arrives again with identical inputs under an unchanged
-policy — the repeat-query regime the service layer
-(:mod:`repro.service`) serves.
+same fragment arrives again with identical inputs — the repeat-query
+regime the service layer (:mod:`repro.service`) serves.  Policy churn is
+absorbed by reconciling both caches against the policy's delta journal
+(see :meth:`DistributedRuntime._reconcile_policy_caches_locked`): a
+``grant``/``revoke`` only kills the entries whose subject and attribute
+footprint it touches, never the whole cache, while revocations can never
+be under-invalidated.
 """
 
 from __future__ import annotations
@@ -193,17 +197,28 @@ class DistributedRuntime:
         self._locks_guard = threading.Lock()
         self._executors: OrderedDict[tuple, Executor] = OrderedDict()
         self._fragment_cache: OrderedDict[
-            tuple, tuple[Table, PlanNode, tuple[Table, ...]]
+            tuple, tuple[Table, PlanNode, tuple[Table, ...], frozenset[str]]
         ] = OrderedDict()
         self._caches_guard = threading.Lock()
         # Bumped by invalidate_caches(); inserts check it so an entry
         # computed from a pre-invalidation catalog snapshot can never
         # repopulate the caches after the clear.
         self._cache_generation = 0
-        # Last policy version each cache was purged of stale-version
-        # entries at; lets the hot insert path skip the purge scan.
-        self._fragment_purge_version = policy.version
-        self._executor_purge_version = policy.version
+        # Policy version both caches were last reconciled to.  On every
+        # bump the caches walk the delta journal: entries whose subject
+        # and attribute footprint are disjoint from all intervening
+        # deltas are rebased onto the new version; touched entries die
+        # (revocations may never be under-invalidated); a truncated
+        # journal flushes everything.
+        self._reconciled_version = policy.version
+        self._reconcile_stats = {
+            "fragment_kept": 0,
+            "fragment_evicted": 0,
+            "fragment_flushed": 0,
+            "executor_kept": 0,
+            "executor_evicted": 0,
+            "executor_flushed": 0,
+        }
 
     # ------------------------------------------------------------------
     # Entry point
@@ -298,14 +313,102 @@ class DistributedRuntime:
         with self._caches_guard:
             executors = list(self._executors.values())
             fragment_entries = len(self._fragment_cache)
+            reconcile = dict(self._reconcile_stats)
         hits = sum(e.cache_hits for e in executors)
         misses = sum(e.cache_misses for e in executors)
-        return {
+        info = {
             "executors": len(executors),
             "executor_hits": hits,
             "executor_misses": misses,
             "fragment_entries": fragment_entries,
         }
+        info.update(reconcile)
+        return info
+
+    # ------------------------------------------------------------------
+    # Policy-delta reconcile
+    # ------------------------------------------------------------------
+    def _reconcile_policy_caches_locked(self) -> None:
+        """Walk the delta journal and surgically maintain both caches.
+
+        Caller holds ``_caches_guard``.  Fragment entries carry a
+        per-entry attribute footprint (every name in the fragment
+        subtree's profiles, plus lineage sources), so a delta kills an
+        entry only when it touches the entry's subject *and* intersects
+        that footprint; executors are subject-granular (their memos span
+        many fragments, so no finer footprint is sound to keep cheap).
+        Surviving keys are rebased onto the current version.  A journal
+        that no longer reaches back flushes everything — the same
+        conservative fallback as the version-keyed purge this replaces,
+        preserving the invariant that no stale enforcement-skipping
+        result can ever be served.
+        """
+        current = self.policy.version
+        if self._reconciled_version == current:
+            return
+        deltas = self.policy.deltas_since(self._reconciled_version)
+        self._reconciled_version = current
+        stats = self._reconcile_stats
+        if deltas is None:
+            stats["fragment_flushed"] += len(self._fragment_cache)
+            stats["executor_flushed"] += len(self._executors)
+            self._fragment_cache.clear()
+            self._executors.clear()
+            return
+        fragments: OrderedDict[
+            tuple, tuple[Table, PlanNode, tuple[Table, ...], frozenset[str]]
+        ] = OrderedDict()
+        for key, entry in self._fragment_cache.items():
+            subject = {key[1]}
+            footprint = entry[3]
+            if any(d.touches(subject, footprint) for d in deltas):
+                stats["fragment_evicted"] += 1
+                continue
+            fragments[key[:3] + (current,) + key[4:]] = entry
+            stats["fragment_kept"] += 1
+        self._fragment_cache = fragments
+        executors: OrderedDict[tuple, Executor] = OrderedDict()
+        for key, executor in self._executors.items():
+            if any(d.touches({key[0]}) for d in deltas):
+                stats["executor_evicted"] += 1
+                continue
+            executors[key[:3] + (current,)] = executor
+            stats["executor_kept"] += 1
+        self._executors = executors
+
+    @staticmethod
+    def _fragment_footprint(root: PlanNode,
+                            context: _RunContext) -> frozenset[str]:
+        """Attribute names a fragment's enforcement checks can read.
+
+        The union of every profile component over the fragment subtree
+        (boundary input nodes included), closed under lineage: a derived
+        alias's visibility follows its source attribute, so the source
+        belongs in the footprint even when it never appears in this
+        fragment's own profiles.
+        """
+        attrs: set[str] = set()
+        seen: set[int] = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            profile = context.profiles.get(node)
+            if profile is not None:
+                attrs |= profile.visible_plaintext
+                attrs |= profile.visible_encrypted
+                attrs |= profile.implicit_plaintext
+                attrs |= profile.implicit_encrypted
+                for eq_class in profile.equivalences:
+                    attrs |= eq_class
+            stack.extend(node.children)
+        for name in list(attrs):
+            source = context.lineage.get(name)
+            if source is not None:
+                attrs.add(source)
+        return frozenset(attrs)
 
     # ------------------------------------------------------------------
     # Schedules
@@ -416,10 +519,14 @@ class DistributedRuntime:
         The memo key ties the result to everything it can depend on: the
         fragment's root node (identity — stable across repeated queries
         served from the assignment cache), the executing subject, the
-        delivered key material, the policy version (a ``grant``/``revoke``
-        must re-run enforcement), the enforcement flag, and the identity
-        of every input table (a recomputed input produces a fresh object
-        and therefore a miss).
+        delivered key material, the policy version, the enforcement
+        flag, and the identity of every input table (a recomputed input
+        produces a fresh object and therefore a miss).  Before the
+        lookup, the caches reconcile against the policy's delta journal:
+        entries whose subject/footprint are disjoint from every
+        intervening ``grant``/``revoke`` are rebased to the current
+        version and keep hitting; touched entries die and re-run their
+        enforcement checks.
         """
         signature = keystore_signature(payload.keystore)
         cache_key = (
@@ -428,6 +535,7 @@ class DistributedRuntime:
             tuple(sorted((b, id(t)) for b, t in inputs.items())),
         )
         with self._caches_guard:
+            self._reconcile_policy_caches_locked()
             generation = self._cache_generation
             cached = self._fragment_cache.get(cache_key)
             if cached is not None:
@@ -443,26 +551,22 @@ class DistributedRuntime:
         impure = _input_dependent_ids(fragment.root, inputs)
         result = self._evaluate(context, fragment, fragment.root, executor,
                                 inputs, view, impure)
+        footprint = self._fragment_footprint(fragment.root, context)
         with self._caches_guard:
             # The key holds id()s of the root node and the input tables;
             # the entry pins those objects so the ids cannot be recycled
             # into different objects while the entry exists.  Skip the
             # insert if invalidate_caches() ran meanwhile — this result
             # may have been computed from the pre-invalidation catalog.
-            current_version = self.policy.version
+            # The same goes for a result keyed on an already-superseded
+            # policy version (a grant/revoke landed mid-run): its
+            # enforcement checks ran against the old policy.
+            self._reconcile_policy_caches_locked()
             if self._cache_generation == generation \
-                    and cache_key[3] == current_version:
-                # Entries from superseded policy versions can never hit
-                # again (the version in the key only grows) — drop them
-                # instead of letting them pin tables until LRU churn.
-                # The scan runs once per version bump, not per insert.
-                if self._fragment_purge_version != current_version:
-                    for stale in [k for k in self._fragment_cache
-                                  if k[3] != current_version]:
-                        del self._fragment_cache[stale]
-                    self._fragment_purge_version = current_version
+                    and cache_key[3] == self.policy.version:
                 self._fragment_cache[cache_key] = (
                     result, fragment.root, tuple(inputs.values()),
+                    footprint,
                 )
                 self._fragment_cache.move_to_end(cache_key)
                 while len(self._fragment_cache) > _FRAGMENT_CACHE_LIMIT:
@@ -513,12 +617,17 @@ class DistributedRuntime:
         fragment cache: a ``grant``/``revoke`` may leave the delivered
         keystore unchanged, and serving memoized subtree results across
         it would skip the model-level checks on interior nodes that the
-        re-run is supposed to repeat.  The per-subject lock serializes
-        all use of any one subject's executors.
+        re-run is supposed to repeat.  The reconcile pass rebases an
+        executor's key onto new versions while no delta touches its
+        subject — deltas on other subjects cannot change what this
+        subject's checks conclude — and evicts it the moment one does.
+        The per-subject lock serializes all use of any one subject's
+        executors.
         """
         key = (subject, signature, context.constant_store_signature,
                self.policy.version)
         with self._caches_guard:
+            self._reconcile_policy_caches_locked()
             executor = self._executors.get(key)
             if executor is not None:
                 self._executors.move_to_end(key)
@@ -538,17 +647,9 @@ class DistributedRuntime:
             # in-flight work); it just must not outlive the run.  The
             # same goes for an executor keyed on an already-superseded
             # policy version (a grant/revoke landed mid-run).
+            self._reconcile_policy_caches_locked()
             if self._cache_generation == generation \
                     and key[3] == current_version:
-                # Entries keyed on superseded policy versions are
-                # unreachable forever (version counters only grow); drop
-                # them now rather than waiting on LRU churn that never
-                # comes with few subjects.  Scan once per version bump.
-                if self._executor_purge_version != current_version:
-                    for stale in [k for k in self._executors
-                                  if k[3] != current_version]:
-                        del self._executors[stale]
-                    self._executor_purge_version = current_version
                 self._executors[key] = executor
                 self._executors.move_to_end(key)
                 while len(self._executors) > _EXECUTOR_POOL_LIMIT:

@@ -8,16 +8,25 @@ across queries and drives SQL text through it end to end:
 
 * a **plan cache** (via :func:`repro.sql.planner.plan_query`'s ``cache``)
   returning identity-stable plans for repeated SQL text;
-* the policy-versioned
+* the delta-reconciled
   :class:`~repro.core.plancache.AssignmentCache` memoising full
-  assignment results (PR 2), which identity-stable plans short-circuit;
+  assignment results (PR 2), which identity-stable plans short-circuit
+  and which policy churn maintains surgically instead of flushing;
+* a cross-query :class:`~repro.core.assignment.EdgeTableCache` sharing
+  decomposed DP edge tables between distinct queries, plus per-plan
+  :class:`~repro.core.candidates.IncrementalCandidates` maintaining Λ
+  under grant/revoke by refreshing only the touched subjects' rows;
 * memoised **dispatch plans** and **distributed key material** per cached
   assignment, so repeated queries stop paying fragment rendering and
   Paillier/symmetric keygen;
 * one persistent :class:`~repro.distributed.DistributedRuntime` whose
   per-subject RSA keypairs are generated once, whose per-subject
   executors keep byte-bounded result caches across queries, and whose
-  scheduler runs independent fragments concurrently.
+  fragment/executor caches reconcile against the policy's delta journal.
+
+Each :class:`QueryOutcome` carries the reconcile activity its query
+observed (entries kept/patched/evicted across all delta-aware caches),
+so churn behaviour is visible per request, not just in aggregate.
 
 :class:`WorkloadSession` is the per-user view: it fixes the querying
 user, runs SQL, and accumulates the session's cache-hit statistics.
@@ -31,8 +40,9 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.core.assignment import AssignmentResult, assign
+from repro.core.assignment import AssignmentResult, EdgeTableCache, assign
 from repro.core.authorization import Policy, Subject
+from repro.core.candidates import IncrementalCandidates
 from repro.core.dispatch import DispatchPlan, dispatch
 from repro.core.plancache import AssignmentCache
 from repro.core.schema import Schema
@@ -92,6 +102,11 @@ class QueryOutcome:
     assignment_cached: bool
     keys_reused: bool
     assignment: AssignmentResult
+    #: Reconcile activity this query observed across the delta-aware
+    #: caches (assignment/edge/fragment/executor entries kept, patched,
+    #: evicted or flushed), as counter increments.  Empty when the
+    #: policy did not change between this query and the previous one.
+    reconcile: dict[str, int] = field(default_factory=dict)
 
     def describe(self) -> str:
         """One human-readable line per query (the workload CLI output)."""
@@ -100,12 +115,17 @@ class QueryOutcome:
             "a" if self.assignment_cached else "-",
             "k" if self.keys_reused else "-",
         ))
+        churn = ""
+        if self.reconcile:
+            inner = ", ".join(f"{key}={value}" for key, value
+                              in sorted(self.reconcile.items()))
+            churn = f" reconcile[{inner}]"
         return (
             f"{self.user}: {len(self.result)} rows in "
             f"{self.wall_seconds * 1000:.1f} ms "
             f"[{self.trace.schedule}, {len(self.trace.fragments_run)} "
             f"fragments, {self.trace.fragment_cache_hits} cached, "
-            f"caches={flags}, ${self.cost_usd:.6f}]"
+            f"caches={flags}, ${self.cost_usd:.6f}]{churn}"
         )
 
 
@@ -187,6 +207,13 @@ class QueryService:
         self._user_topologies: _BoundedCache = _BoundedCache()
         self.assignment_cache = AssignmentCache(
             maxsize=assignment_cache_size)
+        #: Cross-query DP edge tables; receiver rows reconcile against
+        #: the policy's delta journal at the start of each search.
+        self.edge_cache = EdgeTableCache()
+        #: id(plan) → (IncrementalCandidates, pinned plan).  Identity
+        #: keys are safe because the plan cache returns identity-stable
+        #: plans; pinning the plan keeps the id valid while memoised.
+        self._candidates_memo: _BoundedCache = _BoundedCache()
         # Per-subject RSA keypairs are generated exactly once, here.
         self.rsa_keys = generate_subject_keys(list(self.subjects),
                                               rsa_bits=rsa_bits)
@@ -221,6 +248,7 @@ class QueryService:
         user = user or self.user
         started = time.perf_counter()
         with self._lock:
+            reconcile_before = self._reconcile_counters()
             plan_cached = (sql, id(self.schema)) in self._plan_cache
             plan = plan_query(sql, self.schema, cache=self._plan_cache)
             hits_before = self.assignment_cache.info()["hits"]
@@ -229,6 +257,8 @@ class QueryService:
                 user=user, owners=self.owners,
                 topology=self._topology_for(user),
                 cache=self.assignment_cache,
+                edge_cache=self.edge_cache,
+                candidates=lambda: self._candidates_for(plan).current(),
             )
             assignment_cached = (
                 self.assignment_cache.info()["hits"] > hits_before
@@ -244,6 +274,12 @@ class QueryService:
             user=user, schedule=schedule,
         )
         wall = time.perf_counter() - started
+        reconcile_after = self._reconcile_counters()
+        reconcile = {
+            key: reconcile_after[key] - reconcile_before[key]
+            for key in reconcile_after
+            if reconcile_after[key] != reconcile_before[key]
+        }
         executed = QueryOutcome(
             sql=sql,
             user=user,
@@ -255,6 +291,7 @@ class QueryService:
             assignment_cached=assignment_cached,
             keys_reused=keys_reused,
             assignment=outcome,
+            reconcile=reconcile,
         )
         with self._lock:
             self.total_stats.observe(executed)
@@ -295,6 +332,7 @@ class QueryService:
         info: dict[str, object] = {
             "plans": len(self._plan_cache),
             "assignment": self.assignment_cache.info(),
+            "edge_tables": self.edge_cache.info(),
         }
         info.update(self.runtime.cache_info())
         return info
@@ -315,6 +353,42 @@ class QueryService:
     # ------------------------------------------------------------------
     # Memoised per-assignment artifacts
     # ------------------------------------------------------------------
+    def _reconcile_counters(self) -> dict[str, int]:
+        """Snapshot of every delta-reconcile counter, flat-keyed.
+
+        ``execute`` diffs two snapshots to attribute reconcile activity
+        to one query.  Under concurrent queries increments may land in a
+        neighbour's window — the counters are monotone, so totals stay
+        exact even when per-query attribution is approximate.
+        """
+        counters: dict[str, int] = {}
+        for prefix, info in (("assignment", self.assignment_cache.info()),
+                             ("edge", self.edge_cache.info())):
+            for key, value in info.items():
+                if key.startswith("reconcile_"):
+                    counters[f"{prefix}_{key[len('reconcile_'):]}"] = value
+        runtime = self.runtime.cache_info()
+        for key in ("fragment_kept", "fragment_evicted", "fragment_flushed",
+                    "executor_kept", "executor_evicted", "executor_flushed"):
+            counters[key] = runtime[key]
+        return counters
+
+    def _candidates_for(self, plan) -> IncrementalCandidates:
+        """The incremental Λ maintainer for ``plan`` (caller holds lock).
+
+        Built on the first cache-missing query over a plan; thereafter
+        each policy change refreshes only the touched subjects' rows
+        instead of re-deriving every subject × operation authorization.
+        """
+        entry = self._candidates_memo.get(id(plan))
+        if entry is None:
+            entry = (IncrementalCandidates(plan, self.policy,
+                                           self.subject_names), plan)
+            self._candidates_memo[id(plan)] = entry
+        else:
+            self._candidates_memo.move_to_end(id(plan))
+        return entry[0]
+
     def _topology_for(self, user: str) -> NetworkTopology:
         """The network topology pricing ``user``'s queries (memoized)."""
         if self.topology is not None:

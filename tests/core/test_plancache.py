@@ -41,19 +41,32 @@ class TestPolicyVersion:
         assert policy.rule_for("R", "U") is None
         assert "U" not in policy.subjects()
 
-    def test_revoke_missing_rule_raises(self):
+    def test_revoke_missing_rule_is_noop(self):
         policy = Policy()
-        with pytest.raises(AuthorizationError):
-            policy.revoke("R", "U")
+        before = policy.version
+        assert policy.revoke("R", "U") is None
+        assert policy.version == before
+        assert policy.deltas_since(before) == ()
 
-    def test_failed_grant_does_not_bump(self):
+    def test_duplicate_grant_is_noop(self):
         schema = Schema()
         relation = schema.add(Relation("R", ["a"]))
+        policy = Policy(schema)
+        granted = policy.grant(Authorization(relation, ["a"], [], "U"))
+        before = policy.version
+        again = policy.grant(Authorization(relation, ["a"], [], "U"))
+        assert again is granted
+        assert policy.version == before
+        assert policy.deltas_since(before) == ()
+
+    def test_conflicting_grant_still_raises_without_bump(self):
+        schema = Schema()
+        relation = schema.add(Relation("R", ["a", "b"]))
         policy = Policy(schema)
         policy.grant(Authorization(relation, ["a"], [], "U"))
         before = policy.version
         with pytest.raises(AuthorizationError):
-            policy.grant(Authorization(relation, ["a"], [], "U"))
+            policy.grant(Authorization(relation, ["b"], [], "U"))
         assert policy.version == before
 
 

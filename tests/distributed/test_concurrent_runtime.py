@@ -352,37 +352,42 @@ class TestCrossRunCaches:
         assert trace_second.fragment_cache_hits == \
             len(trace_second.fragments_run)
 
-    def test_policy_change_invalidates_fragment_cache(
+    def test_unrelated_revoke_keeps_fragment_cache_warm(
             self, example, example_tables):
         runtime, run = pipeline_7a(example, example_tables, "parallel")
-        run()
-        # Z plays no role in 7(a), but any revoke bumps the version and
-        # must force every fragment to re-run its enforcement checks.
+        first, _ = run()
+        # Z plays no role in 7(a): the revoke's delta touches only Z, so
+        # the reconcile pass rebases every cached fragment onto the new
+        # version instead of flushing — the warm re-run stays warm.
         example.policy.revoke("Hosp", "Z")
-        _, trace = run()
-        assert trace.fragment_cache_hits == 0
+        second, trace = run()
+        assert second.rows == first.rows
+        assert trace.fragment_cache_hits == len(trace.fragments_run)
+        info = runtime.cache_info()
+        assert info["fragment_kept"] > 0
+        assert info["fragment_evicted"] == 0
+        assert info["fragment_flushed"] == 0
 
-    def test_policy_change_bypasses_executor_memos(self, example,
+    def test_unrelated_revoke_keeps_executor_memos(self, example,
                                                    example_tables):
         runtime, run = pipeline_7a(example, example_tables, "parallel")
         first, _ = run()
         with runtime._caches_guard:
             old_executors = set(map(id, runtime._executors.values()))
-        # Z plays no role in 7(a): the revoke leaves every delivered
-        # keystore unchanged, so only the policy version distinguishes
-        # the re-run.  Serving old executor memos here would skip the
-        # model-level checks on interior nodes.
+        # The revoke leaves every other subject's view untouched, so the
+        # pooled executors (and their memos) survive, rebased onto the
+        # new policy version.
         example.policy.revoke("Hosp", "Z")
         second, trace = run()
-        assert trace.fragment_cache_hits == 0
         with runtime._caches_guard:
             versions = {key[3] for key in runtime._executors}
             new_executors = set(map(id, runtime._executors.values()))
-        # Every pooled executor is keyed on the new version, and none of
-        # the pre-revoke executors (with their memos) survived.
         assert versions == {example.policy.version}
-        assert not (old_executors & new_executors)
+        assert old_executors <= new_executors
         assert second.rows == first.rows
+        info = runtime.cache_info()
+        assert info["executor_kept"] > 0
+        assert info["executor_evicted"] == 0
 
     def test_revoked_authorization_rejected_on_warm_rerun(
             self, example, example_tables):
@@ -391,10 +396,15 @@ class TestCrossRunCaches:
         # X joins over encrypted C/P; with its Ins authorization revoked
         # the warm re-run must fail enforcement instead of serving the
         # memoized fragment results (the keystore signature is
-        # unchanged, so only policy-versioned caches catch this).
+        # unchanged, so only the delta reconcile catches this).  The
+        # delta touches X over attributes in X's fragment footprint, so
+        # under-invalidation is impossible: X's entries die.
         example.policy.revoke("Ins", "X")
         with pytest.raises(UnauthorizedError):
             run()
+        info = runtime.cache_info()
+        assert info["fragment_evicted"] > 0
+        assert info["executor_evicted"] > 0
 
     def test_input_dependent_nodes_stay_out_of_executor_memo(
             self, example, example_tables):

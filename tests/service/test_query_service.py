@@ -89,6 +89,58 @@ class TestQueryService:
             ("surgery", 155.0), ("tpa", 120.0),
         ]
 
+    def test_unrelated_grant_keeps_service_caches_warm(self, example,
+                                                       service):
+        # A grant to a subject outside the workload's candidate pool is
+        # disjoint from every cached entry's dependency footprint: each
+        # cache must reconcile surgically and keep its entries warm.
+        from repro.core.authorization import Authorization
+
+        service.execute(RUNNING_SQL)
+        example.policy.grant(Authorization(
+            example.schema.relation("Hosp"), ["T"], ["D"], "Auditor"))
+        warm = service.execute(RUNNING_SQL)
+        assert warm.assignment_cached
+        assert warm.trace.fragment_cache_hits == \
+            len(warm.trace.fragments_run)
+        assert warm.reconcile.get("assignment_kept", 0) > 0
+        assert warm.reconcile.get("assignment_evicted", 0) == 0
+        assert warm.reconcile.get("fragment_kept", 0) > 0
+        assert warm.reconcile.get("fragment_evicted", 0) == 0
+        assert "reconcile[" in warm.describe()
+
+    def test_candidate_revoke_evicts_assignment_but_not_fragments(
+            self, example, service):
+        # Z runs no fragment of this pipeline, but it *is* a candidate
+        # the planner priced: revoking its Hosp rule must evict the
+        # memoised assignment (the optimum may have shifted) while the
+        # runtime's per-subject fragment entries stay warm.
+        service.execute(RUNNING_SQL)
+        example.policy.revoke("Hosp", "Z")
+        warm = service.execute(RUNNING_SQL)
+        assert not warm.assignment_cached
+        assert warm.reconcile.get("assignment_evicted", 0) > 0
+        assert warm.reconcile.get("fragment_kept", 0) > 0
+        assert warm.reconcile.get("fragment_evicted", 0) == 0
+
+    def test_involved_revoke_traced_and_recomputed(self, example,
+                                                   service):
+        # Y holds the join: churning its Ins rule must evict the memoised
+        # assignment, and the outcome's reconcile trace must say so.
+        cold = service.execute(RUNNING_SQL)
+        rule = example.policy.revoke("Ins", "Y")
+        example.policy.grant(rule)
+        warm = service.execute(RUNNING_SQL)
+        assert not warm.assignment_cached
+        assert warm.reconcile.get("assignment_evicted", 0) > 0
+        assert warm.result.sorted_rows() == cold.result.sorted_rows()
+
+    def test_cache_info_reports_edge_tables(self, service):
+        service.execute(RUNNING_SQL)
+        info = service.cache_info()
+        assert info["edge_tables"]["tables"] > 0
+        assert "reconcile_kept" in info["edge_tables"]
+
     def test_each_user_priced_from_own_seat(self, example,
                                             example_tables, service):
         from repro.cost.network import NetworkTopology
