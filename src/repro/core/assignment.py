@@ -107,6 +107,12 @@ class AssignmentResult:
     cost: CostBreakdown
     candidates: CandidateAssignment
     search_stats: dict[str, int] | None = None
+    #: The losing §6 portfolio proposals (fully extended, keyed, and
+    #: costed), cheapest first.  The service layer keeps these as warm
+    #: standby plans: when a provider in the chosen assignment dies
+    #: mid-query, a standby that avoids it can be dispatched without
+    #: re-planning.  Empty for single-proposal strategies.
+    portfolio: tuple["AssignmentResult", ...] = ()
 
     def assignee(self, node: PlanNode) -> str:
         """Chosen subject for an original-plan operation.
@@ -239,6 +245,7 @@ def assign(
         raise ValueError(f"unknown assignment strategy {strategy!r}")
 
     best: AssignmentResult | None = None
+    results: list[AssignmentResult] = []
     for assignment in proposals:
         extended = minimally_extend(
             plan, policy, assignment, requirements=requirements,
@@ -262,9 +269,17 @@ def assign(
             candidates=candidates,
             search_stats=searcher.exhaustive_stats,
         )
+        results.append(result)
         if best is None or cost.total_usd < best.cost.total_usd:
             best = result
     assert best is not None
+    # Distinct losing proposals become warm standby plans (failover).
+    seen_assignments = [best.assignment]
+    for result in sorted(results, key=lambda r: r.cost.total_usd):
+        if result is best or result.assignment in seen_assignments:
+            continue
+        seen_assignments.append(result.assignment)
+        best.portfolio += (result,)
     if cache is not None and cache_key is not None:
         cache.put(cache_key, cache_context, best, policy=policy,
                   depends=depends)
@@ -325,6 +340,9 @@ def _rebind_result(result: AssignmentResult,
         cost=result.cost,
         candidates=CandidateAssignment(plan, candidate_sets, min_views),
         search_stats=result.search_stats,
+        # Standbys are self-contained (extended plan + keys only are
+        # consumed on failover), so no rebinding is needed for them.
+        portfolio=result.portfolio,
     )
 
 

@@ -2,9 +2,18 @@
 
 Runs a dispatched query across simulated subjects with real signed and
 encrypted sub-query envelopes, per-subject key stores, and runtime
-re-checking of the paper's authorization conditions.
+re-checking of the paper's authorization conditions — plus the
+resilience layer: per-subject health state and circuit breakers,
+deterministic fault injection, transient-fault retries, and policy-aware
+mid-query fragment failover.
 """
 
+from repro.distributed.faults import FaultInjector, FaultSpec
+from repro.distributed.health import (
+    HealthRegistry,
+    RetryPolicy,
+    SubjectHealth,
+)
 from repro.distributed.messages import (
     SubQueryPayload,
     decode_payload,
@@ -16,14 +25,16 @@ from repro.distributed.messages import (
 from repro.distributed.runtime import (
     DistributedRuntime,
     ExecutionTrace,
+    FailoverEvent,
     SubjectNode,
     build_runtime,
     generate_subject_keys,
 )
 
 __all__ = [
-    "DistributedRuntime", "ExecutionTrace", "SubQueryPayload",
-    "SubjectNode", "build_runtime", "decode_payload", "encode_payload",
-    "generate_subject_keys", "keystore_signature", "open_envelope",
-    "seal_envelope",
+    "DistributedRuntime", "ExecutionTrace", "FailoverEvent",
+    "FaultInjector", "FaultSpec", "HealthRegistry", "RetryPolicy",
+    "SubQueryPayload", "SubjectHealth", "SubjectNode", "build_runtime",
+    "decode_payload", "encode_payload", "generate_subject_keys",
+    "keystore_signature", "open_envelope", "seal_envelope",
 ]

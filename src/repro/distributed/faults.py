@@ -1,0 +1,144 @@
+"""Deterministic fault injection for chaos-testing the runtime.
+
+A :class:`FaultInjector` sits between the runtime and a
+:class:`~repro.distributed.runtime.SubjectNode`'s execution: before a
+subject evaluates a fragment, the runtime calls
+:meth:`FaultInjector.on_execute`, which either returns extra simulated
+latency or raises one of the provider fault errors —
+:class:`~repro.exceptions.TransientProviderError` for retryable faults,
+:class:`~repro.exceptions.ProviderDeadError` for permanent provider
+death.
+
+Determinism is the point: every random draw comes from a *per-subject*
+stream seeded from ``(seed, subject)``, so a given schedule replays
+identically regardless of the interleaving of other subjects' fragments
+(the concurrent scheduler may order them differently run to run).
+Fragment-count triggers (``crash_on_call``, ``die_after_calls``) count
+that subject's executions only.
+
+Supported fault shapes (composable per subject):
+
+* ``crash_on_call=N`` — the subject's Nth execution raises; transient
+  by default, permanent death with ``crash_is_fatal=True``;
+* ``transient_error_rate=p`` — each execution independently fails with
+  probability ``p`` (retryable);
+* ``latency_spike_seconds=s`` / ``latency_spike_rate=p`` — with
+  probability ``p`` an execution takes ``s`` extra seconds;
+* ``die_after_calls=N`` — the provider permanently dies after its Nth
+  successful admission (the (N+1)-th raises);
+* :meth:`FaultInjector.kill` — immediate permanent death, usable
+  mid-run ("pull the plug now").
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+from repro.exceptions import ProviderDeadError, TransientProviderError
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The fault schedule of one subject (all shapes composable)."""
+
+    crash_on_call: int | None = None
+    crash_is_fatal: bool = False
+    transient_error_rate: float = 0.0
+    latency_spike_seconds: float = 0.0
+    latency_spike_rate: float = 0.0
+    die_after_calls: int | None = None
+
+    def __post_init__(self) -> None:
+        for rate in (self.transient_error_rate, self.latency_spike_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+
+
+class FaultInjector:
+    """Seedable, thread-safe source of injected provider faults."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._specs: dict[str, FaultSpec] = {}
+        self._rngs: dict[str, random.Random] = {}
+        self._calls: dict[str, int] = {}
+        self._dead: set[str] = set()
+        self._lock = threading.Lock()
+
+    def set_fault(self, subject: str, spec: FaultSpec | None = None,
+                  **kwargs) -> None:
+        """Install ``subject``'s fault schedule (replacing any prior one)."""
+        if spec is not None and kwargs:
+            raise ValueError("pass a FaultSpec or keyword fields, not both")
+        with self._lock:
+            self._specs[subject] = spec or FaultSpec(**kwargs)
+
+    def kill(self, subject: str) -> None:
+        """Permanently kill ``subject`` effective immediately."""
+        with self._lock:
+            self._dead.add(subject)
+
+    def revive(self, subject: str) -> None:
+        """Undo :meth:`kill` / a triggered death (call counts persist)."""
+        with self._lock:
+            self._dead.discard(subject)
+
+    def is_dead(self, subject: str) -> bool:
+        with self._lock:
+            return subject in self._dead
+
+    def calls(self, subject: str) -> int:
+        """Executions ``subject`` has attempted (faulted ones included)."""
+        with self._lock:
+            return self._calls.get(subject, 0)
+
+    def on_execute(self, subject: str) -> float:
+        """Gate one execution of ``subject``.
+
+        Returns the extra latency (seconds) this execution suffers;
+        raises :class:`TransientProviderError` or
+        :class:`ProviderDeadError` when the schedule says so.
+        """
+        with self._lock:
+            if subject in self._dead:
+                raise ProviderDeadError(
+                    f"provider {subject} is dead", subject=subject)
+            count = self._calls.get(subject, 0) + 1
+            self._calls[subject] = count
+            spec = self._specs.get(subject)
+            if spec is None:
+                return 0.0
+            if spec.die_after_calls is not None \
+                    and count > spec.die_after_calls:
+                self._dead.add(subject)
+                raise ProviderDeadError(
+                    f"provider {subject} died after "
+                    f"{spec.die_after_calls} executions", subject=subject)
+            if spec.crash_on_call == count:
+                if spec.crash_is_fatal:
+                    self._dead.add(subject)
+                    raise ProviderDeadError(
+                        f"provider {subject} crashed fatally on "
+                        f"execution {count}", subject=subject)
+                raise TransientProviderError(
+                    f"provider {subject} crashed on execution {count}",
+                    subject=subject)
+            rng = self._rngs.get(subject)
+            if rng is None:
+                rng = random.Random(f"{self.seed}:{subject}")
+                self._rngs[subject] = rng
+            # Fixed draw order keeps subject streams replayable even
+            # when only some shapes are configured.
+            transient_draw = rng.random()
+            spike_draw = rng.random()
+            if spec.transient_error_rate \
+                    and transient_draw < spec.transient_error_rate:
+                raise TransientProviderError(
+                    f"transient fault at provider {subject} "
+                    f"(execution {count})", subject=subject)
+            if spec.latency_spike_rate \
+                    and spike_draw < spec.latency_spike_rate:
+                return spec.latency_spike_seconds
+            return 0.0

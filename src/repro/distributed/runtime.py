@@ -44,6 +44,51 @@ absorbed by reconciling both caches against the policy's delta journal
 ``grant``/``revoke`` only kills the entries whose subject and attribute
 footprint it touches, never the whole cache, while revocations can never
 be under-invalidated.
+
+Failover contract
+-----------------
+Providers are treated as unreliable production services.  Every fragment
+execution feeds a per-subject :class:`~repro.distributed.health.HealthRegistry`
+(latency EWMA, consecutive errors, a closed/open/half-open circuit
+breaker), and a seedable
+:class:`~repro.distributed.faults.FaultInjector` can be wired in to make
+chaos runs deterministic.  Failures are classified strictly:
+
+* :class:`~repro.exceptions.TransientProviderError` is the **only**
+  retryable failure.  It is retried on the same subject with bounded
+  exponential backoff and deterministic jitter (:class:`RetryPolicy`),
+  within the per-fragment deadline.  Envelope tampering/spoofing
+  (:class:`~repro.exceptions.DispatchError`) and authorization
+  violations (:class:`~repro.exceptions.UnauthorizedError`) are *never*
+  retried — a forged message or a policy violation is not a fault that
+  repeats its way to success.
+* :class:`~repro.exceptions.ProviderDeadError` (or an exhausted retry
+  budget, or an open breaker) escalates to **mid-query failover**: only
+  the failed fragment is re-dispatched; every upstream fragment result
+  already computed is kept and fed to the replacement.
+
+Failover may never widen visibility.  A replacement subject S′ is
+acceptable only if the repaired assignment — the extended plan's
+assignment with the failed fragment's operations moved to S′ — passes
+:func:`~repro.core.visibility.verify_assignment` (Definition 4.2 against
+the extended plan's *actual* profiles), so S′ is authorized for every
+operand and result it would now see, in the exact representation it
+would see them.  The re-dispatch re-derives, for just that fragment: a
+fresh envelope sealed for S′ containing the fragment text and the key
+subset its encryption/decryption operations name, the replacement's
+augmented view for the runtime enforcement checks, and a fragment-cache
+key under the new subject.  When no authorized replacement exists the
+runtime raises
+:class:`~repro.exceptions.ProviderUnavailableError`; the service layer
+(:mod:`repro.service`) then tries its warm standby plans (the other §6
+portfolio assignments) and finally a full re-plan over the healthy
+subject pool, raising
+:class:`~repro.exceptions.UnrecoverableAssignmentError` only when no
+authorized candidate remains.
+
+Time is injectable (``clock``/``sleeper``): simulated provider latency,
+backoff sleeps, deadlines, and breaker timeouts all go through the two
+callables, so resilience tests run fast and deterministic.
 """
 
 from __future__ import annotations
@@ -52,7 +97,7 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Mapping
 
 from repro.core.authorization import Policy, Subject, SubjectView
@@ -61,9 +106,11 @@ from repro.core.extension import ExtendedPlan
 from repro.core.keys import KeyAssignment
 from repro.core.lineage import Lineage, augment_view, derived_lineage
 from repro.core.operators import BaseRelationNode, PlanNode
-from repro.core.visibility import check_relation
+from repro.core.visibility import check_relation, verify_assignment
 from repro.crypto.keymanager import DistributedKeys, KeyStore
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
+from repro.distributed.faults import FaultInjector
+from repro.distributed.health import HealthRegistry, RetryPolicy
 from repro.distributed.messages import (
     SubQueryPayload,
     keystore_signature,
@@ -73,7 +120,13 @@ from repro.distributed.messages import (
 from repro.engine.executor import Executor, UdfCallable
 from repro.engine.table import Table
 from repro.engine.values import EncryptedAggregate, EncryptedValue
-from repro.exceptions import DispatchError, UnauthorizedError
+from repro.exceptions import (
+    DispatchError,
+    ProviderDeadError,
+    ProviderUnavailableError,
+    TransientProviderError,
+    UnauthorizedError,
+)
 
 #: Upper bound on persistent executors kept across runs (LRU beyond it).
 _EXECUTOR_POOL_LIMIT = 64
@@ -130,6 +183,25 @@ class SubjectNode:
 
 
 @dataclass
+class FailoverEvent:
+    """One mid-query fragment re-dispatch, for tracing and audit.
+
+    ``repaired_assignment`` is the full extended-plan assignment after
+    the takeover (the mapping :func:`verify_assignment` approved), so
+    auditors can re-verify independently that the re-dispatch never
+    widened visibility.
+    """
+
+    fragment_id: str
+    failed_subject: str
+    replacement: str
+    attempts: int
+    seconds: float
+    repaired_assignment: dict[PlanNode, str] = field(default_factory=dict)
+    verified: bool = True
+
+
+@dataclass
 class ExecutionTrace:
     """Observability: what moved where during a distributed run."""
 
@@ -140,6 +212,33 @@ class ExecutionTrace:
     violations: list[str] = field(default_factory=list)
     schedule: str = "sequential"
     fragment_cache_hits: int = 0
+    #: Fragment execution attempts (first tries + retries; cache hits
+    #: excluded — they never touch a provider).
+    attempts: int = 0
+    #: Transient-fault retries on the same subject.
+    retries: int = 0
+    #: Circuit-breaker trips (including permanent provider deaths).
+    breaker_trips: int = 0
+    #: Mid-query fragment re-dispatches, in completion order.
+    failovers: list[FailoverEvent] = field(default_factory=list)
+
+
+class _FragmentFailed(Exception):
+    """Internal control flow: a fragment exhausted its subject.
+
+    Raised out of :meth:`DistributedRuntime._evaluate_fragment` *while
+    the subject lock is held*; the schedulers catch it after releasing
+    the lock and run failover lock-free (the replacement takes its own
+    subject lock), so two concurrent failovers can never deadlock on
+    each other's subject locks.  Never escapes ``run``.
+    """
+
+    def __init__(self, subject: str, attempts: int,
+                 cause: Exception | None = None) -> None:
+        super().__init__(f"fragment failed at {subject}")
+        self.subject = subject
+        self.attempts = attempts
+        self.cause = cause
 
 
 @dataclass
@@ -155,6 +254,9 @@ class _RunContext:
     trace: ExecutionTrace
     user: str
     user_node: SubjectNode
+    #: The extended plan under execution; failover repairs (and
+    #: re-verifies) its assignment when a fragment loses its provider.
+    extended: ExtendedPlan | None = None
     trace_lock: threading.Lock = field(default_factory=threading.Lock)
 
 
@@ -175,6 +277,26 @@ class DistributedRuntime:
         Passed through to each persistent per-subject
         :class:`~repro.engine.executor.Executor` (see its ``cache_size``
         and ``cache_bytes``).
+    clock / sleeper:
+        Injectable time sources (defaults: :func:`time.monotonic` and
+        :func:`time.sleep`).  Simulated provider latency, retry backoff,
+        fragment deadlines, and breaker timeouts all go through these,
+        so tests can drive them with a fake clock instead of sleeping.
+    health:
+        A shared :class:`~repro.distributed.health.HealthRegistry`; one
+        is created (on ``clock``) when not given.
+    fault_injector:
+        Optional :class:`~repro.distributed.faults.FaultInjector`
+        consulted before every fragment execution.
+    retry:
+        The :class:`~repro.distributed.health.RetryPolicy` for transient
+        faults (attempts, backoff, per-fragment deadline).
+    failover:
+        When True (default), a fragment whose subject is lost is
+        re-dispatched in place to the next authorized candidate (see the
+        module docstring's failover contract); when False the failure
+        surfaces immediately as
+        :class:`~repro.exceptions.ProviderUnavailableError`.
     """
 
     def __init__(self, policy: Policy, nodes: Mapping[str, SubjectNode],
@@ -182,7 +304,12 @@ class DistributedRuntime:
                  schedule: str = "sequential",
                  max_workers: int | None = None,
                  executor_cache_size: int = 128,
-                 executor_cache_bytes: int | None = None) -> None:
+                 executor_cache_bytes: int | None = None,
+                 clock=None, sleeper=None,
+                 health: HealthRegistry | None = None,
+                 fault_injector: FaultInjector | None = None,
+                 retry: RetryPolicy | None = None,
+                 failover: bool = True) -> None:
         self.policy = policy
         self.nodes = dict(nodes)
         self.user = user
@@ -191,6 +318,12 @@ class DistributedRuntime:
         self.max_workers = max_workers
         self.executor_cache_size = executor_cache_size
         self.executor_cache_bytes = executor_cache_bytes
+        self._clock = clock or time.monotonic
+        self._sleep = sleeper or time.sleep
+        self.health = health or HealthRegistry(clock=self._clock)
+        self.fault_injector = fault_injector
+        self.retry_policy = retry or RetryPolicy()
+        self.failover_enabled = failover
         if user not in self.nodes:
             raise DispatchError(f"no runtime node for user {user!r}")
         self._subject_locks: dict[str, threading.Lock] = {}
@@ -255,6 +388,7 @@ class DistributedRuntime:
             trace=trace,
             user=user,
             user_node=user_node,
+            extended=extended,
         )
 
         for fragment in dispatch_plan.fragments.values():
@@ -324,6 +458,10 @@ class DistributedRuntime:
         }
         info.update(reconcile)
         return info
+
+    def health_info(self) -> dict[str, dict[str, object]]:
+        """Per-subject health snapshot (breaker state, EWMA, counters)."""
+        return self.health.snapshot()
 
     # ------------------------------------------------------------------
     # Policy-delta reconcile
@@ -430,9 +568,13 @@ class DistributedRuntime:
         # other runs; it is taken around the evaluation only (never while
         # recursing into children) so same-subject nesting cannot
         # deadlock.
-        with self._lock_for(fragment.subject):
-            return self._evaluate_fragment(context, fragment, node,
-                                           payload, view, inputs)
+        try:
+            with self._lock_for(fragment.subject):
+                return self._evaluate_fragment(context, fragment, node,
+                                               payload, view, inputs)
+        except _FragmentFailed as failure:
+            return self._failover_fragment(context, fragment, inputs,
+                                           failure)
 
     def _run_parallel(self, context: _RunContext,
                       max_workers: int | None) -> Table:
@@ -455,17 +597,21 @@ class DistributedRuntime:
         def task(fragment_id: str) -> Table:
             fragment = dispatch_plan.fragment(fragment_id)
             node = self._node_for(fragment.subject)
-            with self._lock_for(fragment.subject):
-                payload = self._open_and_record(context, fragment, node)
-                view = augment_view(self.policy.view(fragment.subject),
-                                    context.lineage)
-                inputs: dict[int, Table] = {}
-                for boundary_id, child_id in fragment.requests.items():
-                    table = results[child_id]
-                    self._receive_input(context, fragment, view, table)
-                    inputs[boundary_id] = table
-                return self._evaluate_fragment(context, fragment, node,
-                                               payload, view, inputs)
+            inputs: dict[int, Table] = {}
+            try:
+                with self._lock_for(fragment.subject):
+                    payload = self._open_and_record(context, fragment, node)
+                    view = augment_view(self.policy.view(fragment.subject),
+                                        context.lineage)
+                    for boundary_id, child_id in fragment.requests.items():
+                        table = results[child_id]
+                        self._receive_input(context, fragment, view, table)
+                        inputs[boundary_id] = table
+                    return self._evaluate_fragment(context, fragment, node,
+                                                   payload, view, inputs)
+            except _FragmentFailed as failure:
+                return self._failover_fragment(context, fragment, inputs,
+                                               failure)
 
         pool = ThreadPoolExecutor(max_workers=workers)
         try:
@@ -544,13 +690,9 @@ class DistributedRuntime:
             with context.trace_lock:
                 context.trace.fragment_cache_hits += 1
             return cached[0]
-        if node.latency_seconds:
-            time.sleep(node.latency_seconds)
-        executor = self._executor_for(node, fragment.subject, payload,
-                                      signature, context, generation)
-        impure = _input_dependent_ids(fragment.root, inputs)
-        result = self._evaluate(context, fragment, fragment.root, executor,
-                                inputs, view, impure)
+        result = self._execute_with_retries(context, fragment, node,
+                                            payload, view, inputs,
+                                            signature, generation)
         footprint = self._fragment_footprint(fragment.root, context)
         with self._caches_guard:
             # The key holds id()s of the root node and the input tables;
@@ -572,6 +714,213 @@ class DistributedRuntime:
                 while len(self._fragment_cache) > _FRAGMENT_CACHE_LIMIT:
                     self._fragment_cache.popitem(last=False)
         return result
+
+    def _execute_with_retries(self, context: _RunContext,
+                              fragment: SubQuery, node: SubjectNode,
+                              payload: SubQueryPayload, view: SubjectView,
+                              inputs: dict[int, Table], signature: str,
+                              generation: int) -> Table:
+        """Run one fragment on its subject, absorbing transient faults.
+
+        Only :class:`TransientProviderError` is retried (bounded
+        attempts, exponential backoff with deterministic jitter, within
+        the per-fragment deadline).  A dead provider, an open breaker,
+        or an exhausted budget raises :class:`_FragmentFailed` so the
+        scheduler can fail the fragment over after releasing the
+        subject lock.  Any other exception (tampering, authorization
+        violations, executor bugs) propagates untouched — retrying a
+        forged envelope or a policy violation must never happen.
+        """
+        subject = fragment.subject
+        retry = self.retry_policy
+        deadline = None
+        if retry.fragment_deadline_seconds is not None:
+            deadline = self._clock() + retry.fragment_deadline_seconds
+        attempts = 0
+        while True:
+            if not self.health.admit(subject):
+                raise _FragmentFailed(
+                    subject, attempts,
+                    cause=ProviderDeadError(
+                        f"provider {subject} is out of rotation "
+                        f"(breaker {self.health.state(subject)})",
+                        subject=subject))
+            attempts += 1
+            with context.trace_lock:
+                context.trace.attempts += 1
+            started = self._clock()
+            try:
+                extra = 0.0
+                if self.fault_injector is not None:
+                    extra = self.fault_injector.on_execute(subject)
+                delay = node.latency_seconds + extra
+                if delay:
+                    self._sleep(delay)
+                executor = self._executor_for(node, subject, payload,
+                                              signature, context,
+                                              generation)
+                impure = _input_dependent_ids(fragment.root, inputs)
+                result = self._evaluate(context, fragment, fragment.root,
+                                        executor, inputs, view, impure)
+            except TransientProviderError as fault:
+                if self.health.record_failure(subject):
+                    with context.trace_lock:
+                        context.trace.breaker_trips += 1
+                out_of_time = (deadline is not None
+                               and self._clock() >= deadline)
+                if (attempts >= retry.max_attempts or out_of_time
+                        or not self.health.available(subject)):
+                    raise _FragmentFailed(subject, attempts, cause=fault)
+                with context.trace_lock:
+                    context.trace.retries += 1
+                self._sleep(retry.backoff(
+                    attempts, salt=f"{fragment.fragment_id}:{subject}"))
+                continue
+            except ProviderDeadError as fault:
+                if self.health.mark_dead(subject):
+                    with context.trace_lock:
+                        context.trace.breaker_trips += 1
+                raise _FragmentFailed(subject, attempts, cause=fault)
+            except Exception:
+                # No health verdict: the failure says nothing about the
+                # provider (e.g. an authorization violation raised by
+                # our own enforcement).  Just release any probe slot.
+                self.health.release_probe(subject)
+                raise
+            self.health.record_success(subject,
+                                       self._clock() - started)
+            return result
+
+    # ------------------------------------------------------------------
+    # Mid-query failover
+    # ------------------------------------------------------------------
+    def _failover_fragment(self, context: _RunContext, fragment: SubQuery,
+                           inputs: dict[int, Table],
+                           failure: _FragmentFailed) -> Table:
+        """Re-dispatch a failed fragment to the next authorized candidate.
+
+        Walks healthy candidate subjects (cheapest latency EWMA first)
+        and, for each: repairs the extended plan's assignment by moving
+        the fragment's operations to the candidate, gates the repair
+        with :func:`verify_assignment` (Definition 4.2 on the extended
+        plan's actual profiles — failover may never widen visibility),
+        reseals the fragment envelope for the candidate with exactly the
+        key subset the fragment's operations name, and re-executes just
+        this fragment with the already-computed input tables.  The
+        caller must *not* hold the failed subject's lock.
+        """
+        if not self.failover_enabled or context.extended is None:
+            raise self._unavailable(context, fragment, failure,
+                                    {failure.subject})
+        started = self._clock()
+        extended = context.extended
+        excluded = {failure.subject}
+        attempts = failure.attempts
+        operations = [n for n in fragment.nodes
+                      if n in extended.assignment]
+        base_relations = [n for n in fragment.nodes
+                          if isinstance(n, BaseRelationNode)]
+        while True:
+            candidate = self._next_candidate(
+                context, fragment, excluded, base_relations, operations)
+            if candidate is None:
+                raise self._unavailable(context, fragment, failure,
+                                        excluded)
+            excluded.add(candidate)
+            candidate_node = self.nodes[candidate]
+            repaired = dict(extended.assignment)
+            for operation in operations:
+                repaired[operation] = candidate
+            try:
+                verify_assignment(extended.plan, self.policy, repaired)
+            except UnauthorizedError:
+                continue
+            store = None
+            if context.constant_store is not None:
+                store = context.constant_store.subset(fragment.key_names)
+            payload = SubQueryPayload(
+                fragment_id=fragment.fragment_id,
+                query_text=fragment.text,
+                keystore=store,
+            )
+            blob = seal_envelope(payload, context.user_node.rsa_private,
+                                 candidate_node.rsa_public)
+            context.envelopes[fragment.fragment_id] = blob
+            with context.trace_lock:
+                context.trace.messages += 1
+                context.trace.envelope_bytes += len(blob)
+            takeover = replace(fragment, subject=candidate)
+            view = augment_view(self.policy.view(candidate),
+                                context.lineage)
+            try:
+                with self._lock_for(candidate):
+                    opened = self._open_and_record(context, takeover,
+                                                   candidate_node)
+                    for table in inputs.values():
+                        self._receive_input(context, takeover, view, table)
+                    result = self._evaluate_fragment(
+                        context, takeover, candidate_node, opened, view,
+                        inputs)
+            except _FragmentFailed as next_failure:
+                attempts += next_failure.attempts
+                continue
+            event = FailoverEvent(
+                fragment_id=fragment.fragment_id,
+                failed_subject=failure.subject,
+                replacement=candidate,
+                attempts=attempts,
+                seconds=self._clock() - started,
+                repaired_assignment=repaired,
+            )
+            with context.trace_lock:
+                context.trace.failovers.append(event)
+            return result
+
+    def _next_candidate(self, context: _RunContext, fragment: SubQuery,
+                        excluded: set[str],
+                        base_relations: list[PlanNode],
+                        operations: list[PlanNode]) -> str | None:
+        """The next failover candidate to try, or None when exhausted.
+
+        Candidates are runtime subjects that are not excluded, not
+        synthetic authorities, currently available per the health
+        registry, and hold every base relation the fragment reads
+        locally (a fragment embedding stored data can only move to a
+        subject that stores the same relations).  Ordered by latency
+        EWMA then name, so failover prefers the fastest healthy
+        provider deterministically; the querying user is kept as the
+        last resort — pulling computation back to the client defeats
+        the outsourcing the assignment paid for.
+        """
+        candidates = []
+        for name, node in self.nodes.items():
+            if name in excluded or name.startswith("authority:"):
+                continue
+            if not self.health.available(name):
+                continue
+            if any(b.relation.name not in node.tables
+                   for b in base_relations):
+                continue
+            candidates.append(name)
+        if not candidates:
+            return None
+        candidates.sort(key=lambda n: (n == context.user,
+                                       self.health.latency_hint(n), n))
+        return candidates[0]
+
+    def _unavailable(self, context: _RunContext, fragment: SubQuery,
+                     failure: _FragmentFailed,
+                     excluded: set[str]) -> ProviderUnavailableError:
+        """Terminal runtime failure for one fragment (service escalates)."""
+        return ProviderUnavailableError(
+            f"fragment {fragment.fragment_id} lost provider "
+            f"{failure.subject!r} and no authorized replacement is "
+            f"available (tried {', '.join(sorted(excluded))})",
+            subject=failure.subject,
+            fragment_id=fragment.fragment_id,
+            excluded=frozenset(excluded),
+            trace=context.trace,
+        )
 
     def _evaluate(self, context: _RunContext, fragment: SubQuery,
                   node: PlanNode, executor: Executor,
@@ -784,14 +1133,31 @@ def build_runtime(policy: Policy, subjects: list[Subject],
                   latency_seconds: float | Mapping[str, float] = 0.0,
                   executor_cache_size: int = 128,
                   executor_cache_bytes: int | None = None,
+                  clock=None, sleeper=None,
+                  health: HealthRegistry | None = None,
+                  fault_injector: FaultInjector | None = None,
+                  retry: RetryPolicy | None = None,
+                  failover: bool = True,
                   ) -> DistributedRuntime:
     """Convenience constructor: one node per subject, tables at owners.
 
     ``authority_tables`` maps authority name → {relation name → table};
     ``rsa_keys`` (subject name → keypair) skips per-node key generation;
     ``latency_seconds`` — one float for every subject or a per-subject
-    mapping — simulates provider round-trip delay per fragment.
+    mapping — simulates provider round-trip delay per fragment.  A
+    mapping naming a subject with no node here raises
+    :class:`ValueError` before any node is built (a silently ignored
+    name would make its latency vanish instead of failing loudly).
+    ``clock``/``sleeper``/``health``/``fault_injector``/``retry``/
+    ``failover`` pass through to :class:`DistributedRuntime`.
     """
+    if isinstance(latency_seconds, Mapping):
+        known = {subject.name for subject in subjects}
+        unknown = sorted(set(latency_seconds) - known)
+        if unknown:
+            raise ValueError(
+                "latency_seconds names unknown subjects: "
+                + ", ".join(repr(name) for name in unknown))
     nodes: dict[str, SubjectNode] = {}
     for subject in subjects:
         tables = authority_tables.get(subject.name, {})
@@ -808,4 +1174,6 @@ def build_runtime(policy: Policy, subjects: list[Subject],
         policy, nodes, user, schedule=schedule, max_workers=max_workers,
         executor_cache_size=executor_cache_size,
         executor_cache_bytes=executor_cache_bytes,
+        clock=clock, sleeper=sleeper, health=health,
+        fault_injector=fault_injector, retry=retry, failover=failover,
     )

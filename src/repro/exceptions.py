@@ -58,6 +58,58 @@ class DispatchError(ReproError):
     """Sub-query dispatch failed (bad envelope, missing key, tampering)."""
 
 
+class ProviderFaultError(DispatchError):
+    """A provider failed while executing a fragment (base class).
+
+    Carries the failing ``subject`` so retry/failover layers can feed
+    health state and pick replacement assignees.
+    """
+
+    def __init__(self, message: str, *, subject: str | None = None) -> None:
+        super().__init__(message)
+        self.subject = subject
+
+
+class TransientProviderError(ProviderFaultError):
+    """A retryable provider failure (timeout, dropped message, overload).
+
+    The only failure the runtime may retry: authorization violations and
+    envelope tampering are never classified as transient.
+    """
+
+
+class ProviderDeadError(ProviderFaultError):
+    """A provider is permanently gone; retrying it is pointless."""
+
+
+class ProviderUnavailableError(ProviderFaultError):
+    """A fragment lost its provider and no in-place takeover succeeded.
+
+    Raised by the runtime after retries and fragment-level failover are
+    exhausted; the service layer catches it to attempt a standby plan or
+    a full re-plan over the remaining healthy subjects.  ``excluded``
+    names every subject that was tried and failed.
+    """
+
+    def __init__(self, message: str, *, subject: str | None = None,
+                 fragment_id: str | None = None,
+                 excluded: frozenset[str] = frozenset(),
+                 trace: object | None = None) -> None:
+        super().__init__(message, subject=subject)
+        self.fragment_id = fragment_id
+        self.excluded = excluded
+        self.trace = trace
+
+
+class UnrecoverableAssignmentError(NoCandidateError):
+    """No authorized candidate remains for some operation of the plan.
+
+    The terminal failover outcome: raised only after warm standby plans
+    and a full re-plan over the healthy subject pool have both failed to
+    produce an assignment that passes ``verify_assignment``.
+    """
+
+
 class SqlError(ReproError):
     """Base class for SQL front-end errors."""
 

@@ -46,17 +46,27 @@ from repro.core.candidates import IncrementalCandidates
 from repro.core.dispatch import DispatchPlan, dispatch
 from repro.core.plancache import AssignmentCache
 from repro.core.schema import Schema
+from repro.core.visibility import verify_assignment
 from repro.cost.network import NetworkTopology
 from repro.cost.pricing import PriceList
 from repro.crypto.keymanager import DistributedKeys
+from repro.distributed.faults import FaultInjector
+from repro.distributed.health import HealthRegistry, RetryPolicy
 from repro.distributed.runtime import (
     ExecutionTrace,
+    FailoverEvent,
     build_runtime,
     generate_subject_keys,
 )
 from repro.engine.executor import UdfCallable
 from repro.engine.table import Table
-from repro.exceptions import DispatchError
+from repro.exceptions import (
+    DispatchError,
+    NoCandidateError,
+    ProviderUnavailableError,
+    UnauthorizedError,
+    UnrecoverableAssignmentError,
+)
 from repro.sql.planner import plan_query
 
 #: Default byte budget for each persistent per-subject executor cache.
@@ -107,6 +117,29 @@ class QueryOutcome:
     #: evicted or flushed), as counter increments.  Empty when the
     #: policy did not change between this query and the previous one.
     reconcile: dict[str, int] = field(default_factory=dict)
+    #: Fragment execution attempts across every run of this query
+    #: (retries and repair re-runs included).
+    attempts: int = 0
+    #: Transient-fault retries absorbed without failover.
+    retries: int = 0
+    #: Circuit-breaker trips observed (provider deaths included).
+    breaker_trips: int = 0
+    #: Mid-query fragment re-dispatches, each carrying the repaired
+    #: assignment that :func:`verify_assignment` approved.
+    failovers: tuple[FailoverEvent, ...] = ()
+    #: Whether the query was re-run on a warm §6 standby plan.
+    standby_used: bool = False
+    #: Whether the query was re-planned from scratch over the healthy
+    #: subject pool.
+    replanned: bool = False
+    #: Latency attributable to recovery (retries excluded): in-place
+    #: failover time plus standby/re-plan repair and re-run time.
+    failover_seconds: float = 0.0
+
+    @property
+    def failed_over(self) -> bool:
+        """Whether any recovery path ran (takeover, standby, re-plan)."""
+        return bool(self.failovers) or self.standby_used or self.replanned
 
     def describe(self) -> str:
         """One human-readable line per query (the workload CLI output)."""
@@ -120,12 +153,22 @@ class QueryOutcome:
             inner = ", ".join(f"{key}={value}" for key, value
                               in sorted(self.reconcile.items()))
             churn = f" reconcile[{inner}]"
+        recovery = ""
+        if self.failed_over:
+            moves = ", ".join(
+                f"{e.fragment_id}:{e.failed_subject}->{e.replacement}"
+                for e in self.failovers)
+            mode = ("replanned" if self.replanned
+                    else "standby" if self.standby_used else "takeover")
+            recovery = (f" failover[{mode}"
+                        + (f" {moves}" if moves else "")
+                        + f" +{self.failover_seconds * 1000:.1f}ms]")
         return (
             f"{self.user}: {len(self.result)} rows in "
             f"{self.wall_seconds * 1000:.1f} ms "
             f"[{self.trace.schedule}, {len(self.trace.fragments_run)} "
             f"fragments, {self.trace.fragment_cache_hits} cached, "
-            f"caches={flags}, ${self.cost_usd:.6f}]{churn}"
+            f"caches={flags}, ${self.cost_usd:.6f}]{churn}{recovery}"
         )
 
 
@@ -140,6 +183,10 @@ class SessionStats:
     assignment_cache_hits: int = 0
     fragment_cache_hits: int = 0
     fragments_run: int = 0
+    retries: int = 0
+    breaker_trips: int = 0
+    failovers: int = 0
+    queries_failed_over: int = 0
 
     def observe(self, outcome: QueryOutcome) -> None:
         self.queries += 1
@@ -149,6 +196,10 @@ class SessionStats:
         self.assignment_cache_hits += int(outcome.assignment_cached)
         self.fragment_cache_hits += outcome.trace.fragment_cache_hits
         self.fragments_run += len(outcome.trace.fragments_run)
+        self.retries += outcome.retries
+        self.breaker_trips += outcome.breaker_trips
+        self.failovers += len(outcome.failovers)
+        self.queries_failed_over += int(outcome.failed_over)
 
     def describe(self) -> str:
         return (
@@ -187,6 +238,11 @@ class QueryService:
                  executor_cache_bytes: int | None
                  = DEFAULT_EXECUTOR_CACHE_BYTES,
                  latency_seconds: float | Mapping[str, float] = 0.0,
+                 clock=None, sleeper=None,
+                 health: HealthRegistry | None = None,
+                 fault_injector: FaultInjector | None = None,
+                 retry: RetryPolicy | None = None,
+                 failover: bool = True,
                  ) -> None:
         self.schema = schema
         self.policy = policy
@@ -223,6 +279,9 @@ class QueryService:
             max_workers=max_workers, latency_seconds=latency_seconds,
             executor_cache_size=executor_cache_size,
             executor_cache_bytes=executor_cache_bytes,
+            clock=clock, sleeper=sleeper, health=health,
+            fault_injector=fault_injector, retry=retry,
+            failover=failover,
         )
         #: (sql, id(schema)) → (plan, pinned schema); see plan_query.
         self._plan_cache: _BoundedCache = _BoundedCache()
@@ -269,10 +328,21 @@ class QueryService:
         # helpers do their own double-checked locking.
         distributed, keys_reused = self._distributed_keys(outcome)
         dispatch_plan = self._dispatch_plan(outcome, user)
-        result, trace = self.runtime.run(
-            dispatch_plan, outcome.extended, outcome.keys, distributed,
-            user=user, schedule=schedule,
-        )
+        partial_traces: list[ExecutionTrace] = []
+        standby_used = replanned = False
+        repair_seconds = 0.0
+        try:
+            result, trace = self.runtime.run(
+                dispatch_plan, outcome.extended, outcome.keys, distributed,
+                user=user, schedule=schedule,
+            )
+        except ProviderUnavailableError as failure:
+            repair_started = time.perf_counter()
+            outcome, result, trace, standby_used, partial_traces = \
+                self._repair_and_rerun(plan, outcome, failure, user,
+                                       schedule)
+            replanned = not standby_used
+            repair_seconds = time.perf_counter() - repair_started
         wall = time.perf_counter() - started
         reconcile_after = self._reconcile_counters()
         reconcile = {
@@ -280,6 +350,8 @@ class QueryService:
             for key in reconcile_after
             if reconcile_after[key] != reconcile_before[key]
         }
+        traces = partial_traces + [trace]
+        failovers = tuple(e for t in traces for e in t.failovers)
         executed = QueryOutcome(
             sql=sql,
             user=user,
@@ -292,6 +364,14 @@ class QueryService:
             keys_reused=keys_reused,
             assignment=outcome,
             reconcile=reconcile,
+            attempts=sum(t.attempts for t in traces),
+            retries=sum(t.retries for t in traces),
+            breaker_trips=sum(t.breaker_trips for t in traces),
+            failovers=failovers,
+            standby_used=standby_used,
+            replanned=replanned,
+            failover_seconds=(repair_seconds
+                              + sum(e.seconds for e in failovers)),
         )
         with self._lock:
             self.total_stats.observe(executed)
@@ -300,6 +380,102 @@ class QueryService:
     def session(self, user: str | None = None) -> "WorkloadSession":
         """A per-user session over this service's shared caches."""
         return WorkloadSession(self, user or self.user)
+
+    # ------------------------------------------------------------------
+    # Failover repair
+    # ------------------------------------------------------------------
+    def _repair_and_rerun(
+        self, plan, primary: AssignmentResult,
+        failure: ProviderUnavailableError, user: str,
+        schedule: str | None,
+    ) -> tuple[AssignmentResult, Table, ExecutionTrace, bool,
+               list[ExecutionTrace]]:
+        """Recover a query whose fragment lost every in-place candidate.
+
+        Two escalation tiers beyond the runtime's fragment takeover:
+        first the warm §6 standby plans kept on the primary assignment
+        (``portfolio``) — a standby that avoids every unavailable
+        subject and still passes :func:`verify_assignment` under the
+        *current* policy is dispatched as-is; otherwise a full re-plan
+        over the remaining healthy subjects.  Each re-run that loses yet
+        another provider widens the unavailable set and tries again, so
+        :class:`UnrecoverableAssignmentError` is raised only when no
+        authorized candidate remains (or the lost subject is a data
+        authority, whose stored relations cannot move).
+        """
+        unavailable = set(failure.excluded)
+        partial_traces: list[ExecutionTrace] = []
+        if failure.trace is not None:
+            partial_traces.append(failure.trace)
+        while True:
+            unavailable |= self.runtime.health.unavailable_subjects()
+            if failure.subject in set(self.owners.values()) \
+                    or failure.subject.startswith("authority:"):
+                raise UnrecoverableAssignmentError(
+                    f"data authority {failure.subject!r} is unavailable "
+                    "and its stored relations cannot be reassigned"
+                ) from failure
+            repaired, standby_used = self._standby_for(primary,
+                                                       unavailable)
+            if repaired is None:
+                available = [name for name in self.subject_names
+                             if name not in unavailable]
+                try:
+                    with self._lock:
+                        repaired = assign(
+                            plan, self.policy, available, self.prices,
+                            user=user, owners=self.owners,
+                            topology=self._topology_for(user),
+                            cache=self.assignment_cache,
+                            edge_cache=self.edge_cache,
+                        )
+                except (NoCandidateError, UnauthorizedError) as exc:
+                    raise UnrecoverableAssignmentError(
+                        "no authorized candidate remains for the query "
+                        f"after losing {sorted(unavailable)}"
+                    ) from exc
+                # Defense in depth: the repaired plan must re-verify as
+                # an authorized assignment before anything is dispatched.
+                verify_assignment(repaired.extended.plan, self.policy,
+                                  repaired.extended.assignment)
+            distributed, _ = self._distributed_keys(repaired)
+            dispatch_plan = self._dispatch_plan(repaired, user)
+            try:
+                result, trace = self.runtime.run(
+                    dispatch_plan, repaired.extended, repaired.keys,
+                    distributed, user=user, schedule=schedule,
+                )
+            except ProviderUnavailableError as again:
+                # Another provider died during the re-run: widen the
+                # exclusion set and escalate once more.  The subject
+                # pool strictly shrinks, so this terminates.
+                unavailable |= set(again.excluded)
+                if again.trace is not None:
+                    partial_traces.append(again.trace)
+                failure = again
+                continue
+            return repaired, result, trace, standby_used, partial_traces
+
+    def _standby_for(self, primary: AssignmentResult,
+                     unavailable: set[str],
+                     ) -> tuple[AssignmentResult | None, bool]:
+        """The cheapest warm standby avoiding ``unavailable``, if any.
+
+        Standbys were verified when planned; the policy may have changed
+        since, so each is re-gated with :func:`verify_assignment` before
+        use — a stale standby is skipped, never dispatched.
+        """
+        for standby in primary.portfolio:
+            used = set(standby.extended.assignment.values())
+            if used & unavailable:
+                continue
+            try:
+                verify_assignment(standby.extended.plan, self.policy,
+                                  standby.extended.assignment)
+            except UnauthorizedError:
+                continue
+            return standby, True
+        return None, False
 
     # ------------------------------------------------------------------
     # Shared-state management
@@ -336,6 +512,10 @@ class QueryService:
         }
         info.update(self.runtime.cache_info())
         return info
+
+    def health_info(self) -> dict[str, dict[str, object]]:
+        """Per-subject health snapshot (breaker state, EWMA, counters)."""
+        return self.runtime.health_info()
 
     def describe(self) -> str:
         """Service-level summary across every query it has run."""

@@ -1,0 +1,124 @@
+"""Unit tests for the deterministic fault injector."""
+
+import pytest
+
+from repro.distributed import FaultInjector, FaultSpec
+from repro.exceptions import ProviderDeadError, TransientProviderError
+
+
+def drive(injector, subject, n):
+    """Run ``n`` executions, recording ('ok', latency) / error types."""
+    events = []
+    for _ in range(n):
+        try:
+            events.append(("ok", injector.on_execute(subject)))
+        except TransientProviderError:
+            events.append(("transient", None))
+        except ProviderDeadError:
+            events.append(("dead", None))
+    return events
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        spec = FaultSpec(transient_error_rate=0.3,
+                         latency_spike_seconds=0.05, latency_spike_rate=0.2)
+        runs = []
+        for _ in range(2):
+            injector = FaultInjector(seed=42)
+            injector.set_fault("Y", spec)
+            runs.append(drive(injector, "Y", 50))
+        assert runs[0] == runs[1]
+
+    def test_subject_streams_are_independent(self):
+        injector = FaultInjector(seed=42)
+        injector.set_fault("Y", transient_error_rate=0.3)
+        injector.set_fault("Z", transient_error_rate=0.3)
+        solo = FaultInjector(seed=42)
+        solo.set_fault("Y", transient_error_rate=0.3)
+        # Interleaving Z's draws must not perturb Y's stream.
+        interleaved = []
+        for _ in range(30):
+            try:
+                interleaved.append(("ok", injector.on_execute("Y")))
+            except TransientProviderError:
+                interleaved.append(("transient", None))
+            try:
+                injector.on_execute("Z")
+            except TransientProviderError:
+                pass
+        assert interleaved == drive(solo, "Y", 30)
+
+    def test_different_seeds_differ(self):
+        spec = FaultSpec(transient_error_rate=0.5)
+        a = FaultInjector(seed=1)
+        b = FaultInjector(seed=2)
+        a.set_fault("Y", spec)
+        b.set_fault("Y", spec)
+        assert drive(a, "Y", 40) != drive(b, "Y", 40)
+
+
+class TestFaultShapes:
+    def test_no_spec_is_transparent(self):
+        injector = FaultInjector()
+        assert drive(injector, "Y", 5) == [("ok", 0.0)] * 5
+        assert injector.calls("Y") == 5
+
+    def test_crash_on_call_is_transient_once(self):
+        injector = FaultInjector()
+        injector.set_fault("Y", crash_on_call=2)
+        assert drive(injector, "Y", 4) == [
+            ("ok", 0.0), ("transient", None), ("ok", 0.0), ("ok", 0.0)]
+
+    def test_fatal_crash_kills_permanently(self):
+        injector = FaultInjector()
+        injector.set_fault("Y", crash_on_call=1, crash_is_fatal=True)
+        assert drive(injector, "Y", 3) == [("dead", None)] * 3
+        assert injector.is_dead("Y")
+
+    def test_die_after_calls(self):
+        injector = FaultInjector()
+        injector.set_fault("Y", die_after_calls=2)
+        assert drive(injector, "Y", 4) == [
+            ("ok", 0.0), ("ok", 0.0), ("dead", None), ("dead", None)]
+        assert injector.is_dead("Y")
+
+    def test_kill_and_revive(self):
+        injector = FaultInjector()
+        injector.kill("Y")
+        with pytest.raises(ProviderDeadError) as excinfo:
+            injector.on_execute("Y")
+        assert excinfo.value.subject == "Y"
+        assert injector.calls("Y") == 0  # dead executions don't count
+        injector.revive("Y")
+        assert injector.on_execute("Y") == 0.0
+
+    def test_rate_one_always_fails(self):
+        injector = FaultInjector()
+        injector.set_fault("Y", transient_error_rate=1.0)
+        assert drive(injector, "Y", 5) == [("transient", None)] * 5
+
+    def test_rate_zero_never_fails(self):
+        injector = FaultInjector()
+        injector.set_fault("Y", transient_error_rate=0.0,
+                           latency_spike_rate=0.0)
+        assert drive(injector, "Y", 5) == [("ok", 0.0)] * 5
+
+    def test_latency_spike_rate_one(self):
+        injector = FaultInjector()
+        injector.set_fault("Y", latency_spike_seconds=0.25,
+                           latency_spike_rate=1.0)
+        assert drive(injector, "Y", 3) == [("ok", 0.25)] * 3
+
+
+class TestValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError, match="fault rate"):
+            FaultSpec(transient_error_rate=1.5)
+        with pytest.raises(ValueError, match="fault rate"):
+            FaultSpec(latency_spike_rate=-0.1)
+
+    def test_spec_and_kwargs_exclusive(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError, match="not both"):
+            injector.set_fault("Y", FaultSpec(), crash_on_call=1)
