@@ -8,6 +8,7 @@ Usage::
     python -m repro dispatch             # the Figure 8 dispatch table
     python -m repro ablate-mix           # uniform-visibility ablation
     python -m repro workload [--repeat 3] [--schedule parallel]
+                    [--workers 4] [--join-strategy parallel-hash]
                                          # multi-user service session demo
 """
 
@@ -62,23 +63,38 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--schedule", type=str, default="parallel",
                           choices=("parallel", "sequential"),
                           help="fragment schedule for the runtime")
+    workload.add_argument("--workers", type=int, default=0,
+                          help="data-plane worker processes "
+                               "(0 = inline single-core execution)")
+    workload.add_argument("--join-strategy", type=str, default="hash",
+                          help="join strategy: hash, parallel-hash, "
+                               "or nested-loop")
 
     return parser
 
 
-def run_workload(repeat: int, schedule: str) -> str:
+def run_workload(repeat: int, schedule: str, workers: int = 0,
+                 join_strategy: str = "hash") -> str:
     """A small multi-user workload over the running example's service.
 
     Users U and Y repeat the paper's query (Y is entitled to the
     plaintext result: its view covers T and P); X is refused — the
     assignment pipeline blocks users the policy does not authorize for
-    the result, before anything executes.
+    the result, before anything executes.  ``workers``/``join_strategy``
+    select the data plane; invalid values exit with a clear message
+    before the service is built.
     """
     from repro.engine.table import Table
     from repro.exceptions import UnauthorizedError
     from repro.paper_example import build_running_example
+    from repro.parallel import ExecutionSettings
     from repro.service import QueryService
 
+    try:
+        settings = ExecutionSettings(workers=workers,
+                                     join_strategy=join_strategy)
+    except ValueError as error:
+        raise SystemExit(f"workload: {error}") from None
     repeat = max(1, repeat)
     example = build_running_example()
     hosp = Table("Hosp", ("S", "B", "D", "T"), [
@@ -95,7 +111,7 @@ def run_workload(repeat: int, schedule: str) -> str:
     service = QueryService(
         example.schema, example.policy, example.subjects,
         example.owners, {"H": {"Hosp": hosp}, "I": {"Ins": ins}},
-        user="U", schedule=schedule,
+        user="U", schedule=schedule, settings=settings,
     )
     sql = ("select T, avg(P) from Hosp join Ins on S=C "
            "where D='stroke' group by T having avg(P)>100")
@@ -145,7 +161,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         penalty = totals["alternating"] / totals["prefix"]
         print(f"uniform-visibility penalty: {penalty:.2f}x")
     elif arguments.command == "workload":
-        print(run_workload(arguments.repeat, arguments.schedule))
+        print(run_workload(arguments.repeat, arguments.schedule,
+                           arguments.workers, arguments.join_strategy))
     return 0
 
 

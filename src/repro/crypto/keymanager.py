@@ -94,6 +94,15 @@ class KeyMaterial:
             self.__dict__["_ciphers"] = cache
         return cache
 
+    def __getstate__(self) -> dict[str, object]:
+        # Memoized cipher instances stay home on worker transport: the
+        # receiving process rebuilds them lazily from the key bytes (and
+        # accumulates its own deterministic/OPE memos across chunks).
+        return {
+            key: value for key, value in self.__dict__.items()
+            if key != "_ciphers"
+        }
+
     def public_part(self) -> "KeyMaterial":
         """Key material stripped to what encryption-only holders need.
 

@@ -24,7 +24,10 @@ The hot path is built for batch encryption/decryption of whole columns:
   obfuscators by modular products (a product of ``r_i^n`` is
   ``(∏ r_i)^n``, still a valid obfuscator; adequate randomness for this
   simulator, not a hardened RNG — real deployments precompute true
-  ``r^n`` offline, which is exactly the cost model's assumption);
+  ``r^n`` offline, which is exactly the cost model's assumption).
+  Each key guards its pool with its own lock, and draining past the
+  low-water mark kicks off a *background* daemon refill — the expensive
+  exponentiations run off every encrypting thread's critical path;
 * **CRT decrypt** — :func:`generate_keypair` retains ``p``/``q``, so
   decryption works mod ``p²`` and ``q²`` and recombines, roughly 3–4×
   cheaper than the ``λ/µ`` formula, which survives bit-identical as
@@ -53,13 +56,19 @@ FIXED_POINT_SCALE = 10 ** 6
 _POOL_SEEDS = 4
 _POOL_TARGET = 128
 
-#: One process-wide lock guards every key's pool: public-key objects are
-#: shared across per-subject keystores, and the parallel runtime
-#: encrypts sibling fragments on a thread pool with only per-subject
-#: locks — check-then-pop must be atomic.  A shared lock (instead of a
-#: per-key one) keeps the frozen dataclass copyable/picklable, and
-#: contention is negligible next to the modular arithmetic.
-_POOL_LOCK = threading.Lock()
+#: Popping the pool below this many entries starts a background daemon
+#: refill, so sibling-fragment encrypts keep draining a warm pool
+#: instead of stalling on a synchronous refill at empty.
+_POOL_LOW_WATER = 32
+
+#: Guards only the *lazy creation* of each key's pool lock.  The pool
+#: itself is protected by the per-key lock (public-key objects are
+#: shared across per-subject keystores and the runtime encrypts sibling
+#: fragments concurrently — check-then-pop must be atomic), so two keys
+#: never serialize on each other's refills.  Locks live in the instance
+#: ``__dict__`` and are excluded from pickling/copying by
+#: ``__getstate__``.
+_LOCKS_GUARD = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -113,48 +122,108 @@ class PaillierPublicKey:
     def encrypt_many(self, values: Sequence[int | float],
                      ) -> list["PaillierCiphertext"]:
         """Bulk :meth:`encrypt`: one dispatch per column."""
+        return [
+            PaillierCiphertext(self, v) for v in self.encrypt_values(values)
+        ]
+
+    def encrypt_values(self, values: Sequence[int | float]) -> list[int]:
+        """Bulk encrypt to *raw* ciphertext integers.
+
+        The worker-transport form: parallel chunks ship plain ints and
+        the caller rebuilds :class:`PaillierCiphertext` wrappers, so
+        nothing but the numbers crosses the process boundary.
+        """
         n, n2 = self.n, self.n_squared
         encode, draw = _encode, self._next_obfuscator
-        return [
-            PaillierCiphertext(self, ((1 + n * encode(v, n)) * draw()) % n2)
-            for v in values
-        ]
+        return [((1 + n * encode(v, n)) * draw()) % n2 for v in values]
 
     # -- obfuscator pool ------------------------------------------------
     def precompute_obfuscators(self, count: int = _POOL_TARGET) -> None:
         """Refill the ``r^n`` pool eagerly (off the encryption hot path)."""
-        with _POOL_LOCK:
-            self._refill_pool(max(count, _POOL_TARGET))
+        target = max(count, _POOL_TARGET)
+        seeds = self._pool_seeds()
+        with self._pool_lock:
+            self._extend_pool(seeds, target)
 
     def _next_obfuscator(self) -> int:
-        with _POOL_LOCK:
+        lock = self._pool_lock
+        start_refill = False
+        with lock:
             pool = self._pool
             if not pool:
-                self._refill_pool(_POOL_TARGET)
-            return pool.pop()
+                # Empty pool: refill synchronously — callers need a
+                # value now, whatever a background refill is up to.
+                self._extend_pool(self._pool_seeds(), _POOL_TARGET)
+            value = pool.pop()
+            if (len(pool) < _POOL_LOW_WATER
+                    and not self.__dict__.get("_refilling")):
+                object.__setattr__(self, "_refilling", True)
+                start_refill = True
+        if start_refill:
+            threading.Thread(
+                target=self._background_refill, daemon=True).start()
+        return value
+
+    def _background_refill(self) -> None:
+        """Daemon-thread refill: the pows run outside the pool lock."""
+        try:
+            seeds = self._pool_seeds()
+            with self._pool_lock:
+                self._extend_pool(seeds, _POOL_TARGET)
+        finally:
+            object.__setattr__(self, "_refilling", False)
+
+    @property
+    def _pool_lock(self) -> threading.Lock:
+        lock = self.__dict__.get("_lock")
+        if lock is None:
+            with _LOCKS_GUARD:
+                lock = self.__dict__.get("_lock")
+                if lock is None:
+                    lock = threading.Lock()
+                    object.__setattr__(self, "_lock", lock)
+        return lock
 
     @property
     def _pool(self) -> list[int]:
-        # Callers hold _POOL_LOCK (lazy init is a check-then-set too).
+        # Callers hold _pool_lock (lazy init is a check-then-set too).
         pool = self.__dict__.get("_obfuscators")
         if pool is None:
             pool = []
             object.__setattr__(self, "_obfuscators", pool)
         return pool
 
-    def _refill_pool(self, target: int) -> None:
+    def _pool_seeds(self) -> list[int]:
+        """The ``_POOL_SEEDS`` true ``r^n`` exponentiations of a refill.
+
+        Lock-free: only :func:`os.urandom` and arithmetic on the frozen
+        modulus, so refilling threads pay the expensive pows without
+        blocking concurrent encrypts.
+        """
         n, n2 = self.n, self.n_squared
+        return [pow(self._random_unit(), n, n2) for _ in range(_POOL_SEEDS)]
+
+    def _extend_pool(self, seeds: list[int], target: int) -> None:
+        # Caller holds _pool_lock.
+        n2 = self.n_squared
         pool = self._pool
         if len(pool) >= target:
             return
-        seeds = [
-            pow(self._random_unit(), n, n2) for _ in range(_POOL_SEEDS)
-        ]
         mix = seeds[-1]
         while len(pool) < target:
             for seed in seeds:
                 mix = (mix * seed) % n2
                 pool.append(mix)
+
+    # -- worker transport ----------------------------------------------
+    def __getstate__(self) -> dict[str, int]:
+        # Only the modulus travels: the obfuscator pool, its lock, and
+        # the memoized n² are per-process state, rebuilt lazily on the
+        # receiving side.  (Also what keeps deepcopy lock-free.)
+        return {"n": self.n}
+
+    def __setstate__(self, state: dict[str, int]) -> None:
+        object.__setattr__(self, "n", state["n"])
 
     def _random_unit(self) -> int:
         """A uniform unit of Z*_n (``gcd(r, n) = 1``, so ``r^n`` is a
@@ -202,24 +271,55 @@ class PaillierPrivateKey:
         return message
 
     def decrypt_many(self, ciphertexts: Iterable["PaillierCiphertext"],
-                     ) -> list[float | int]:
-        """Bulk :meth:`decrypt`: one dispatch per column."""
+                     pool=None) -> list[float | int]:
+        """Bulk :meth:`decrypt`: one dispatch per column.
+
+        With a :class:`~repro.parallel.WorkerPool` the column partitions
+        into per-worker chunks of raw ciphertext integers — CRT decrypt
+        dominates the cost, so throughput scales near-linearly with
+        workers — reassembled in order, bit-identical to the inline
+        loop.  Key-membership checks stay parent-side.
+        """
+        cts = list(ciphertexts)
+        if pool is not None and pool.should_parallelize(len(cts)):
+            n = self.public.n
+            for ciphertext in cts:
+                if ciphertext.public.n != n:
+                    raise CryptoError(
+                        "ciphertext under a different Paillier key")
+            from repro.parallel import kernels
+
+            return pool.map_chunks(
+                kernels.paillier_decrypt_chunk, kernels.dumps(self),
+                [ciphertext.value for ciphertext in cts])
         decode, n = _decode, self.public.n
         decrypt = self._decrypt_message
-        return [decode(decrypt(c), n) for c in ciphertexts]
+        return [decode(decrypt(c), n) for c in cts]
+
+    def decrypt_values(self, values: Sequence[int]) -> list[float | int]:
+        """Bulk decrypt *raw* ciphertext integers (worker-transport form).
+
+        Raw ints carry no public key to check against — key membership
+        is the caller's job before stripping the wrappers.
+        """
+        decode, n = _decode, self.public.n
+        message = self._message_from_int
+        return [decode(message(v), n) for v in values]
 
     # -- internals ------------------------------------------------------
     def _decrypt_message(self, ciphertext: "PaillierCiphertext") -> int:
         """The plaintext residue in ``[0, n)`` (CRT when p/q are held)."""
         if ciphertext.public.n != self.public.n:
             raise CryptoError("ciphertext under a different Paillier key")
+        return self._message_from_int(ciphertext.value)
+
+    def _message_from_int(self, cipher: int) -> int:
         if self.p is None or self.q is None:
-            return self._reference_message(ciphertext.value)
+            return self._reference_message(cipher)
         p, q, n = self.p, self.q, self.public.n
         p2, q2, hp, hq, q_inv = self._crt_parts()
-        c = ciphertext.value
-        mp = ((pow(c % p2, p - 1, p2) - 1) // p) * hp % p
-        mq = ((pow(c % q2, q - 1, q2) - 1) // q) * hq % q
+        mp = ((pow(cipher % p2, p - 1, p2) - 1) // p) * hp % p
+        mq = ((pow(cipher % q2, q - 1, q2) - 1) // q) * hq % q
         return (mq + q * ((mp - mq) * q_inv % p)) % n
 
     def _decrypt_message_reference(self,

@@ -59,15 +59,25 @@ def generate_key(length: int = 32) -> bytes:
     return random_bytes(length)
 
 
-def prf(key: bytes, data: bytes) -> bytes:
-    """HMAC-SHA256 pseudo-random function (cached key schedule)."""
+def keyed_hmac(key: bytes) -> "hmac.HMAC":
+    """The cached keyed HMAC schedule for ``key``.
+
+    Callers ``copy()`` the returned object per message; batch kernels
+    fetch it once per column instead of paying the cache lookup per
+    value.
+    """
     keyed = _hmac_cache.get(key)
     if keyed is None:
         if len(_hmac_cache) >= _HMAC_CACHE_MAX:
             _hmac_cache.clear()
         keyed = hmac.new(key, digestmod=hashlib.sha256)
         _hmac_cache[key] = keyed
-    mac = keyed.copy()
+    return keyed
+
+
+def prf(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA256 pseudo-random function (cached key schedule)."""
+    mac = keyed_hmac(key).copy()
     mac.update(data)
     return mac.digest()
 
@@ -89,6 +99,35 @@ def keystream(key: bytes, iv: bytes, length: int) -> bytes:
 
 
 _ZERO_COUNTER = struct.pack(">Q", 0)
+
+
+def keystream_many(key: bytes, ivs: "list[bytes]",
+                   lengths: "list[int]") -> list[bytes]:
+    """Bulk :func:`keystream`: one keyed-HMAC sweep for a whole column.
+
+    The key schedule is fetched once and ``copy()``-ed per block, so a
+    column of short values pays one cache lookup total instead of one
+    per value.  Outputs are bit-identical to per-value
+    :func:`keystream` calls.
+    """
+    keyed = keyed_hmac(key)
+    pack = struct.Struct(">Q").pack
+    out: list[bytes] = []
+    append = out.append
+    for iv, length in zip(ivs, lengths):
+        if length <= _BLOCK:
+            mac = keyed.copy()
+            mac.update(iv + _ZERO_COUNTER)
+            append(mac.digest()[:length])
+            continue
+        blocks = (length + _BLOCK - 1) // _BLOCK
+        parts = []
+        for counter in range(blocks):
+            mac = keyed.copy()
+            mac.update(iv + pack(counter))
+            parts.append(mac.digest())
+        append(b"".join(parts)[:length])
+    return out
 
 
 def xor_bytes(left: bytes, right: bytes) -> bytes:

@@ -119,6 +119,7 @@ from repro.distributed.messages import (
 )
 from repro.engine.executor import Executor, UdfCallable
 from repro.engine.table import Table
+from repro.parallel.pool import ExecutionSettings
 from repro.engine.values import EncryptedAggregate, EncryptedValue
 from repro.exceptions import (
     DispatchError,
@@ -297,6 +298,14 @@ class DistributedRuntime:
         module docstring's failover contract); when False the failure
         surfaces immediately as
         :class:`~repro.exceptions.ProviderUnavailableError`.
+    settings:
+        The data-plane :class:`~repro.parallel.pool.ExecutionSettings`
+        (worker count, join strategy, parallelism threshold).  Every
+        subject's executor is built over the same shared
+        :class:`~repro.parallel.pool.WorkerPool`, so per-subject
+        fragments and intra-fragment column chunks draw from one bounded
+        set of processes instead of multiplying pools.  Defaults to
+        inline single-core execution (``workers=0``).
     """
 
     def __init__(self, policy: Policy, nodes: Mapping[str, SubjectNode],
@@ -309,8 +318,10 @@ class DistributedRuntime:
                  health: HealthRegistry | None = None,
                  fault_injector: FaultInjector | None = None,
                  retry: RetryPolicy | None = None,
-                 failover: bool = True) -> None:
+                 failover: bool = True,
+                 settings: ExecutionSettings | None = None) -> None:
         self.policy = policy
+        self.settings = settings or ExecutionSettings()
         self.nodes = dict(nodes)
         self.user = user
         self.enforce = enforce
@@ -986,6 +997,8 @@ class DistributedRuntime:
             constant_keystore=context.constant_store,
             cache_size=self.executor_cache_size,
             cache_bytes=self.executor_cache_bytes,
+            join_strategy=self.settings.join_strategy,
+            pool=self.settings.pool(),
         )
         current_version = self.policy.version
         with self._caches_guard:
@@ -1138,6 +1151,7 @@ def build_runtime(policy: Policy, subjects: list[Subject],
                   fault_injector: FaultInjector | None = None,
                   retry: RetryPolicy | None = None,
                   failover: bool = True,
+                  settings: ExecutionSettings | None = None,
                   ) -> DistributedRuntime:
     """Convenience constructor: one node per subject, tables at owners.
 
@@ -1149,7 +1163,8 @@ def build_runtime(policy: Policy, subjects: list[Subject],
     :class:`ValueError` before any node is built (a silently ignored
     name would make its latency vanish instead of failing loudly).
     ``clock``/``sleeper``/``health``/``fault_injector``/``retry``/
-    ``failover`` pass through to :class:`DistributedRuntime`.
+    ``failover``/``settings`` pass through to
+    :class:`DistributedRuntime`.
     """
     if isinstance(latency_seconds, Mapping):
         known = {subject.name for subject in subjects}
@@ -1176,4 +1191,5 @@ def build_runtime(policy: Policy, subjects: list[Subject],
         executor_cache_bytes=executor_cache_bytes,
         clock=clock, sleeper=sleeper, health=health,
         fault_injector=fault_injector, retry=retry, failover=failover,
+        settings=settings,
     )

@@ -55,12 +55,18 @@ def encrypt_value(material: KeyMaterial, value: object) -> EncryptedValue:
     raise ExecutionError(f"unsupported scheme {scheme}")
 
 
-def encrypt_column(material: KeyMaterial,
-                   values: Sequence[object]) -> list[object]:
+def encrypt_column(material: KeyMaterial, values: Sequence[object],
+                   pool=None) -> list[object]:
     """Bulk :func:`encrypt_value` over a whole column.
 
     NULLs stay NULL (Encrypt passes them through); everything else must
     be plaintext.  Equivalent to the per-cell loop, one dispatch total.
+
+    With a :class:`~repro.parallel.WorkerPool` (and a column past its
+    size threshold) the plaintexts partition into per-worker chunks;
+    validation stays parent-side, raw tokens come back in order, and
+    the output is distributed identically to the inline path (workers
+    draw their own IVs/obfuscators for the randomized schemes).
     """
     out: list[object] = [None] * len(values)
     positions: list[int] = []
@@ -76,23 +82,45 @@ def encrypt_column(material: KeyMaterial,
         return out
     scheme = material.scheme
     name = material.name
+    parallel = pool is not None and pool.should_parallelize(len(plain))
+    if parallel:
+        from repro.parallel import kernels
     if scheme is EncryptionScheme.PAILLIER:
         if material.paillier_public is None:
             raise ExecutionError(f"key {name} lacks Paillier parts")
         for value in plain:
             if not isinstance(value, (int, float)):
                 raise ExecutionError("Paillier encrypts numeric values only")
-        tokens: list[object] = material.paillier_public.encrypt_many(plain)
+        if parallel:
+            from repro.crypto.paillier import PaillierCiphertext
+
+            public = material.paillier_public
+            tokens: list[object] = [
+                PaillierCiphertext(public, raw)
+                for raw in pool.map_chunks(kernels.column_encrypt_chunk,
+                                           kernels.dumps(material), plain)
+            ]
+        else:
+            tokens = material.paillier_public.encrypt_many(plain)
     elif material.symmetric is None:
         raise ExecutionError(f"key {name} lacks symmetric material")
-    elif scheme is EncryptionScheme.DETERMINISTIC:
-        tokens = material.deterministic_cipher().encrypt_many(plain)
-    elif scheme is EncryptionScheme.RANDOMIZED:
-        tokens = material.randomized_cipher().encrypt_many(plain)
+    elif scheme in (EncryptionScheme.DETERMINISTIC,
+                    EncryptionScheme.RANDOMIZED):
+        if parallel:
+            tokens = pool.map_chunks(kernels.column_encrypt_chunk,
+                                     kernels.dumps(material), plain)
+        elif scheme is EncryptionScheme.DETERMINISTIC:
+            tokens = material.deterministic_cipher().encrypt_many(plain)
+        else:
+            tokens = material.randomized_cipher().encrypt_many(plain)
     elif scheme is EncryptionScheme.OPE:
-        ope_tokens = material.ope_cipher().encrypt_many(plain)
-        recoveries = material.recovery_cipher().encrypt_many(plain)
-        for index, token, recovery in zip(positions, ope_tokens, recoveries):
+        if parallel:
+            pairs = pool.map_chunks(kernels.column_encrypt_chunk,
+                                    kernels.dumps(material), plain)
+        else:
+            pairs = list(zip(material.ope_cipher().encrypt_many(plain),
+                             material.recovery_cipher().encrypt_many(plain)))
+        for index, (token, recovery) in zip(positions, pairs):
             out[index] = EncryptedValue(name, scheme, token, recovery)
         return out
     else:
@@ -137,14 +165,23 @@ def decrypt_value(material: KeyMaterial, value: object) -> object:
     raise ExecutionError(f"unsupported scheme {scheme}")
 
 
-def decrypt_column(material: KeyMaterial,
-                   values: Sequence[object]) -> list[object]:
+def decrypt_column(material: KeyMaterial, values: Sequence[object],
+                   pool=None) -> list[object]:
     """Bulk :func:`decrypt_value` over a whole column.
 
     The scheme decoder is resolved once for the column's dominant scheme
     (cells are checked individually, so a stray aggregate or foreign-key
     ciphertext still gets the per-cell diagnostics).
+
+    With a :class:`~repro.parallel.WorkerPool` (and a column past its
+    size threshold) the cells group per scheme and ship as raw tokens to
+    worker chunks; key-name checks, aggregates, and key-part validation
+    stay parent-side, and a tampered token's
+    :class:`~repro.exceptions.CryptoError` raises through the chunk's
+    future like the inline loop raises it.
     """
+    if pool is not None and pool.should_parallelize(len(values)):
+        return _decrypt_column_parallel(material, values, pool)
     decoders: dict[EncryptionScheme, object] = {}
 
     def decoder(scheme: EncryptionScheme):
@@ -173,17 +210,81 @@ def decrypt_column(material: KeyMaterial,
     return out
 
 
-def _column_decoder(material: KeyMaterial, scheme: EncryptionScheme):
-    """One specialized ``EncryptedValue -> plaintext`` closure per scheme."""
+def _decrypt_column_parallel(material: KeyMaterial,
+                             values: Sequence[object], pool) -> list[object]:
+    """The chunked worker path of :func:`decrypt_column`.
+
+    One parent-side pass groups cells per scheme (running every per-cell
+    check the inline loop runs) and strips tokens to their raw transport
+    form; each scheme group then fans out through the pool and lands
+    back at its cells' positions.
+    """
+    from repro.parallel import kernels
+
+    name = material.name
+    out: list[object] = [None] * len(values)
+    groups: dict[EncryptionScheme, tuple[list[int], list[object]]] = {}
+    for index, value in enumerate(values):
+        if value is None:
+            continue
+        if isinstance(value, EncryptedValue):
+            if value.key_name != name:
+                raise ExecutionError(
+                    f"value encrypted under {value.key_name}, not {name}"
+                )
+            scheme = value.scheme
+            if scheme is EncryptionScheme.OPE:
+                if value.recovery is None:
+                    raise ExecutionError(
+                        "OPE value lacks its recovery ciphertext"
+                    )
+                token: object = value.recovery
+            elif scheme is EncryptionScheme.PAILLIER:
+                token = value.token.value
+            else:
+                token = value.token
+            positions, tokens = groups.setdefault(scheme, ([], []))
+            positions.append(index)
+            tokens.append(token)
+        elif isinstance(value, EncryptedAggregate):
+            out[index] = _decrypt_aggregate(material, value)
+        else:
+            raise ExecutionError("value is not encrypted")
+    if not groups:
+        return out
+    blob = kernels.dumps(material)
+    for scheme, (positions, tokens) in groups.items():
+        _require_scheme_parts(material, scheme)
+        plains = pool.map_chunks(kernels.column_decrypt_chunk,
+                                 (blob, scheme.name), tokens)
+        for index, plain in zip(positions, plains):
+            out[index] = plain
+    return out
+
+
+def _require_scheme_parts(material: KeyMaterial,
+                          scheme: EncryptionScheme) -> None:
+    """The key-part checks of :func:`_column_decoder`, shared with the
+    parallel path (which validates before submitting chunks)."""
     if scheme is EncryptionScheme.PAILLIER:
         if material.paillier_private is None:
             raise ExecutionError(
                 f"key {material.name} lacks the Paillier private part"
             )
+    elif material.symmetric is None:
+        raise ExecutionError(f"key {material.name} lacks symmetric material")
+    elif scheme not in (EncryptionScheme.DETERMINISTIC,
+                        EncryptionScheme.RANDOMIZED,
+                        EncryptionScheme.OPE):
+        raise ExecutionError(f"unsupported scheme {scheme}")
+
+
+def _column_decoder(material: KeyMaterial, scheme: EncryptionScheme):
+    """One specialized ``EncryptedValue -> plaintext`` closure per scheme."""
+    _require_scheme_parts(material, scheme)
+    if scheme is EncryptionScheme.PAILLIER:
         private = material.paillier_private
         return lambda value: private.decrypt(value.token)
-    if material.symmetric is None:
-        raise ExecutionError(f"key {material.name} lacks symmetric material")
     if scheme is EncryptionScheme.DETERMINISTIC:
         decrypt = material.deterministic_cipher().decrypt
         return lambda value: decrypt(value.token)

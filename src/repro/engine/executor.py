@@ -16,6 +16,13 @@ the table bulk APIs, and an LRU result cache keyed by plan-node identity
 makes re-executed subtrees (common in the extension/assignment search)
 free.  The seed's ``σ_C(L×R)`` nested-loop semantics survive as the
 ``join_strategy="nested-loop"`` reference path used by the benchmarks.
+
+With a :class:`~repro.parallel.WorkerPool` attached, the Encrypt/Decrypt
+operators fan column chunks across worker processes, and
+``join_strategy="parallel-hash"`` probes contiguous slices of the probe
+side concurrently against the shared build table
+(:func:`probe_partition` is the exact loop both the sequential path and
+the workers run), preserving the sequential output row order.
 """
 
 from __future__ import annotations
@@ -54,6 +61,7 @@ from repro.engine.expressions import (
 from repro.engine.table import Table
 from repro.engine.values import EncryptedAggregate, EncryptedValue
 from repro.exceptions import ExecutionError
+from repro.parallel.pool import JOIN_STRATEGIES, WorkerPool
 
 #: A user-defined function: receives {input attribute: value}, returns one
 #: value (named after the node's output attribute).
@@ -64,6 +72,11 @@ UdfCallable = Callable[[dict[str, object]], object]
 _ResidualCheck = tuple[
     tuple[bool, int], Callable[[object, object], bool], tuple[bool, int]
 ]
+
+#: The picklable form of a residual conjunct: the comparator travels as
+#: its :class:`~repro.core.predicates.ComparisonOp` (closures don't
+#: pickle) and is compiled worker-side, once per join payload.
+_ResidualSpec = tuple[tuple[bool, int], object, tuple[bool, int]]
 
 
 class Executor:
@@ -81,8 +94,18 @@ class Executor:
     join_strategy:
         ``"hash"`` (default) evaluates every equality conjunct through the
         hash-partitioned build/probe path and applies residual conjuncts
-        per matched pair; ``"nested-loop"`` keeps the seed ``σ_C(L×R)``
-        reference semantics (used by the join benchmarks as the baseline).
+        per matched pair; ``"parallel-hash"`` is the same build/probe
+        pass with the probe side partitioned across the worker pool
+        (requires ``pool``; without one, or below the pool's size
+        threshold, it degrades to plain ``"hash"``); ``"nested-loop"``
+        keeps the seed ``σ_C(L×R)`` reference semantics (used by the
+        join benchmarks as the baseline).
+    pool:
+        A :class:`~repro.parallel.WorkerPool` for the CPU-bound column
+        kernels (Encrypt/Decrypt) and the ``"parallel-hash"`` probe.
+        ``None`` (the default) keeps every path inline and single-core.
+        The pool does not affect results, so rebinding it never
+        invalidates the cache.
     cache_size:
         Capacity of the LRU plan-subtree result cache (0 disables it).
         Results are keyed by plan-node *identity*, so re-executing a
@@ -114,7 +137,9 @@ class Executor:
                  constant_keystore: KeyStore | None = None,
                  join_strategy: str = "hash",
                  cache_size: int = 128,
-                 cache_bytes: int | None = None) -> None:
+                 cache_bytes: int | None = None,
+                 pool: "WorkerPool | None" = None) -> None:
+        self.pool = pool
         self._cache_capacity = max(0, cache_size)
         self._cache_byte_budget = (None if cache_bytes is None
                                    else max(0, cache_bytes))
@@ -176,12 +201,13 @@ class Executor:
 
     @property
     def join_strategy(self) -> str:
-        """``"hash"`` or ``"nested-loop"``; rebinding drops the cache."""
+        """``"hash"``, ``"parallel-hash"``, or ``"nested-loop"``;
+        rebinding drops the cache."""
         return self._join_strategy
 
     @join_strategy.setter
     def join_strategy(self, strategy: str) -> None:
-        if strategy not in ("hash", "nested-loop"):
+        if strategy not in JOIN_STRATEGIES:
             raise ExecutionError(f"unknown join strategy {strategy!r}")
         self._join_strategy = strategy
         self.clear_cache()
@@ -330,7 +356,7 @@ class Executor:
             # Seed reference semantics: σ_C(L × R), one compiled predicate
             # over every operand pair.
             basics = list(node.condition.basic_conditions())
-            checks = self._compile_residuals(basics, left, right)
+            checks = _compile_specs(_residual_specs(basics, left, right))
             rows = [
                 lr + rr
                 for lr in left.rows for rr in right.rows
@@ -340,9 +366,10 @@ class Executor:
 
         equalities, residual = node.partition_condition(left.columns,
                                                         right.columns)
-        checks = self._compile_residuals(residual, left, right)
+        specs = _residual_specs(residual, left, right)
+        checks = _compile_specs(specs)
         if equalities:
-            rows = self._hash_join(left, right, equalities, checks)
+            rows = self._hash_join(left, right, equalities, checks, specs)
         else:
             # Pure theta-join: no hashable conjunct, fall back to a
             # filtered product (the predicate is still compiled once).
@@ -353,32 +380,10 @@ class Executor:
             ]
         return Table._from_trusted("⋈", columns, rows)
 
-    def _compile_residuals(self, residual: list,
-                           left: Table, right: Table) -> list[_ResidualCheck]:
-        """Compile residual conjuncts into (selector, comparator, selector).
-
-        Selectors address the *operand* rows directly, so residuals are
-        tested on matched pairs before the output row is materialized.
-        """
-        left_width = len(left.columns)
-        combined = {c: i for i, c in enumerate(left.columns + right.columns)}
-        checks: list[_ResidualCheck] = []
-        for basic in residual:
-            assert isinstance(basic, AttributeComparisonPredicate)
-            lpos = combined[basic.left]
-            rpos = combined[basic.right]
-            checks.append((
-                (lpos < left_width, lpos if lpos < left_width
-                 else lpos - left_width),
-                compile_comparison(basic.op),
-                (rpos < left_width, rpos if rpos < left_width
-                 else rpos - left_width),
-            ))
-        return checks
-
     def _hash_join(self, left: Table, right: Table,
                    equalities: list[tuple[str, str]],
-                   checks: list[_ResidualCheck]) -> list[tuple]:
+                   checks: list[_ResidualCheck],
+                   specs: list[_ResidualSpec]) -> list[tuple]:
         left_positions = left.positions([l for l, _ in equalities])
         right_positions = right.positions([r for _, r in equalities])
         # Build on the smaller operand, probe with the larger one; the
@@ -393,45 +398,24 @@ class Executor:
         else:
             buckets, build_sigs = _build_buckets(right.rows, right_positions)
             probe_rows, probe_positions = left.rows, left_positions
-        probe_sigs: list[set[object]] = [set() for _ in probe_positions]
+        pool = self.pool
+        if (self._join_strategy == "parallel-hash" and pool is not None
+                and pool.should_parallelize(len(probe_rows))):
+            # Contiguous probe slices against the shared build side:
+            # concatenating chunk outputs in slice order reproduces the
+            # sequential row order.  The build payload ships once per
+            # chunk (workers memoize rehydration per payload); residuals
+            # travel as specs because compiled closures don't pickle.
+            from repro.parallel import kernels
 
-        def note_probe(index: int, value: object) -> None:
-            signature = _signature(value)
-            if signature is None or signature in probe_sigs[index]:
-                return
-            probe_sigs[index].add(signature)
-            combined = build_sigs[index] | probe_sigs[index]
-            if build_sigs[index] and len(combined) > 1:
-                l, r = equalities[index]
-                raise ExecutionError(
-                    f"join condition {l}={r} compares incompatible value "
-                    f"representations: {sorted(map(str, combined))}"
-                )
-
-        single = len(probe_positions) == 1
-        position = probe_positions[0] if single else None
-        joined: list[tuple] = []
-        for prow in probe_rows:
-            if single:
-                value = prow[position]
-                note_probe(0, value)
-                key = _join_key(value)
-            else:
-                for index, p in enumerate(probe_positions):
-                    note_probe(index, prow[p])
-                key = tuple(_join_key(prow[p]) for p in probe_positions)
-            matches = buckets.get(key)
-            if not matches:
-                continue
-            if build_is_left:
-                for brow in matches:
-                    if _residuals_hold(checks, brow, prow):
-                        joined.append(brow + prow)
-            else:
-                for brow in matches:
-                    if _residuals_hold(checks, prow, brow):
-                        joined.append(prow + brow)
-        return joined
+            payload = kernels.dumps(
+                (buckets, build_sigs, probe_positions, equalities, specs,
+                 build_is_left))
+            return pool.map_chunks(kernels.join_probe_chunk, payload,
+                                   probe_rows)
+        return probe_partition(buckets, build_sigs, probe_rows,
+                               probe_positions, equalities, checks,
+                               build_is_left)
 
     # -- grouping and aggregation ---------------------------------------
     def _group_by(self, node: GroupBy, child: Table) -> Table:
@@ -601,7 +585,7 @@ class Executor:
         for attribute in sorted(node.attributes):
             material = keystore.material_for_attribute(attribute)
             replacements[attribute] = encrypt_column(
-                material, child.column_values(attribute))
+                material, child.column_values(attribute), pool=self.pool)
         return child.replace_columns(replacements).rename("enc")
 
     def _decrypt(self, node: Decrypt, child: Table) -> Table:
@@ -610,7 +594,7 @@ class Executor:
         for attribute in sorted(node.attributes):
             material = keystore.material_for_attribute(attribute)
             replacements[attribute] = decrypt_column(
-                material, child.column_values(attribute))
+                material, child.column_values(attribute), pool=self.pool)
         return child.replace_columns(replacements).rename("dec")
 
 
@@ -669,6 +653,96 @@ class _InvalidatingDict(dict):
     def clear(self) -> None:
         super().clear()
         self._on_change()
+
+
+def _residual_specs(residual: list, left: Table,
+                    right: Table) -> list[_ResidualSpec]:
+    """Residual conjuncts as (selector, op, selector) triples.
+
+    Selectors address the *operand* rows directly, so residuals are
+    tested on matched pairs before the output row is materialized; the
+    op stays symbolic so the spec can cross a process boundary.
+    """
+    left_width = len(left.columns)
+    combined = {c: i for i, c in enumerate(left.columns + right.columns)}
+    specs: list[_ResidualSpec] = []
+    for basic in residual:
+        assert isinstance(basic, AttributeComparisonPredicate)
+        lpos = combined[basic.left]
+        rpos = combined[basic.right]
+        specs.append((
+            (lpos < left_width, lpos if lpos < left_width
+             else lpos - left_width),
+            basic.op,
+            (rpos < left_width, rpos if rpos < left_width
+             else rpos - left_width),
+        ))
+    return specs
+
+
+def _compile_specs(specs: list[_ResidualSpec]) -> list[_ResidualCheck]:
+    """Compile residual specs into executable checks."""
+    return [
+        (left_sel, compile_comparison(op), right_sel)
+        for left_sel, op, right_sel in specs
+    ]
+
+
+def probe_partition(buckets: dict[object, list[tuple]],
+                    build_sigs: list[set[object]],
+                    probe_rows: list[tuple],
+                    probe_positions: tuple[int, ...],
+                    equalities: list[tuple[str, str]],
+                    checks: list[_ResidualCheck],
+                    build_is_left: bool) -> list[tuple]:
+    """Probe rows against prebuilt hash buckets (one partition).
+
+    The sequential probe loop of :meth:`Executor._hash_join`, shared
+    verbatim with the ``parallel-hash`` workers: each worker probes one
+    contiguous slice of the probe side, so concatenating partition
+    outputs in slice order reproduces the sequential output exactly —
+    rows, order, and the representation-mix diagnostics (a mixing value
+    raises within whichever partition probes it).
+    """
+    probe_sigs: list[set[object]] = [set() for _ in probe_positions]
+
+    def note_probe(index: int, value: object) -> None:
+        signature = _signature(value)
+        if signature is None or signature in probe_sigs[index]:
+            return
+        probe_sigs[index].add(signature)
+        combined = build_sigs[index] | probe_sigs[index]
+        if build_sigs[index] and len(combined) > 1:
+            l, r = equalities[index]
+            raise ExecutionError(
+                f"join condition {l}={r} compares incompatible value "
+                f"representations: {sorted(map(str, combined))}"
+            )
+
+    single = len(probe_positions) == 1
+    position = probe_positions[0] if single else None
+    joined: list[tuple] = []
+    for prow in probe_rows:
+        if single:
+            value = prow[position]
+            note_probe(0, value)
+            key = _join_key(value)
+        else:
+            for index, p in enumerate(probe_positions):
+                note_probe(index, prow[p])
+            key = tuple(_join_key(prow[p]) for p in probe_positions)
+        matches = buckets.get(key)
+        if not matches:
+            continue
+        if build_is_left:
+            for brow in matches:
+                if _residuals_hold(checks, brow, prow):
+                    joined.append(brow + prow)
+        else:
+            for brow in matches:
+                if _residuals_hold(checks, prow, brow):
+                    joined.append(prow + brow)
+    return joined
 
 
 def _signature(value: object) -> object | None:

@@ -1,0 +1,169 @@
+"""The bounded process pool and the knobs that size it.
+
+See the package docstring (:mod:`repro.parallel`) for the
+chunking/ordering/fallback contract.  This module deliberately imports
+nothing from the crypto or engine layers, so every one of them can
+depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+#: Join strategies the executor accepts, in preference order.
+JOIN_STRATEGIES = ("hash", "parallel-hash", "nested-loop")
+
+#: Below this many items a column runs inline: process transport costs
+#: more than it saves on small inputs (see the package docstring).
+DEFAULT_MIN_PARALLEL_ITEMS = 256
+
+#: Contiguous chunks submitted per worker.  More than one evens out
+#: skew between chunks (a worker that finishes early picks up another)
+#: without shrinking chunks to where per-task overhead dominates.
+_CHUNKS_PER_WORKER = 2
+
+
+class WorkerPool:
+    """A lazily started, spawn-context process pool with chunked map.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.  ``0`` disables the pool entirely:
+        :meth:`map_chunks` always runs inline and no process is ever
+        spawned — the single-core reference behaviour.
+    min_parallel_items:
+        Inputs smaller than this run inline even with workers available.
+
+    The underlying :class:`~concurrent.futures.ProcessPoolExecutor` is
+    created on the first parallel submission (constructing a pool is
+    free until it is actually needed) and is safe to share across
+    threads — the runtime's fragment scheduler submits column chunks
+    from several fragment threads into one pool.
+    """
+
+    def __init__(self, workers: int,
+                 min_parallel_items: int = DEFAULT_MIN_PARALLEL_ITEMS,
+                 ) -> None:
+        if workers < 0:
+            raise ValueError(
+                f"workers must be a non-negative integer, got {workers!r}")
+        self.workers = workers
+        self.min_parallel_items = max(1, min_parallel_items)
+        self._executor: ProcessPoolExecutor | None = None
+        self._guard = threading.Lock()
+
+    def should_parallelize(self, count: int) -> bool:
+        """Whether an input of ``count`` items goes to the workers."""
+        return self.workers > 0 and count >= self.min_parallel_items
+
+    def map_chunks(self, task: Callable[[object, list], list],
+                   payload: object, items: Sequence) -> list:
+        """Run ``task(payload, chunk)`` over contiguous chunks of ``items``.
+
+        Results are concatenated in submission order, so the output is
+        identical to ``task(payload, list(items))`` — which is exactly
+        what runs (inline, in this process) when the pool is disabled or
+        the input is below the size threshold.
+        """
+        items = items if isinstance(items, list) else list(items)
+        if not self.should_parallelize(len(items)):
+            return task(payload, items)
+        chunk_count = min(self.workers * _CHUNKS_PER_WORKER, len(items))
+        size = -(-len(items) // chunk_count)  # ceil division
+        chunks = [items[i:i + size] for i in range(0, len(items), size)]
+        if len(chunks) == 1:
+            return task(payload, items)
+        executor = self._ensure_executor()
+        futures = [executor.submit(task, payload, chunk) for chunk in chunks]
+        out: list = []
+        for future in futures:
+            out.extend(future.result())
+        return out
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        executor = self._executor
+        if executor is None:
+            with self._guard:
+                executor = self._executor
+                if executor is None:
+                    executor = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        mp_context=multiprocessing.get_context("spawn"),
+                    )
+                    self._executor = executor
+        return executor
+
+    def close(self) -> None:
+        """Shut the worker processes down (no-op if never started)."""
+        with self._guard:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+
+#: One pool per configuration, shared by every settings object that
+#: names it — fragments and intra-fragment chunks draw from the same
+#: bounded worker budget.  Shared pools live for the process; nothing
+#: closes them (worker processes idle between uses).
+_SHARED_POOLS: dict[tuple[int, int], WorkerPool] = {}
+_SHARED_GUARD = threading.Lock()
+
+
+def shared_pool(workers: int,
+                min_parallel_items: int = DEFAULT_MIN_PARALLEL_ITEMS,
+                ) -> WorkerPool | None:
+    """The process-wide :class:`WorkerPool` for this configuration.
+
+    ``workers=0`` returns ``None`` — callers treat a missing pool as
+    "run the sequential path", so zero workers reproduces today's
+    single-core behaviour exactly.
+    """
+    if workers <= 0:
+        return None
+    key = (workers, min_parallel_items)
+    with _SHARED_GUARD:
+        pool = _SHARED_POOLS.get(key)
+        if pool is None:
+            pool = WorkerPool(workers, min_parallel_items)
+            _SHARED_POOLS[key] = pool
+        return pool
+
+
+@dataclass(frozen=True)
+class ExecutionSettings:
+    """The data-plane parallelism knob, wired service → runtime → executor.
+
+    ``workers=0`` (the default) keeps every path inline and
+    single-core; a positive count fans column crypto and
+    ``parallel-hash`` probes across that many worker processes, shared
+    across all fragments via :func:`shared_pool`.
+    """
+
+    workers: int = 0
+    join_strategy: str = "hash"
+    min_parallel_items: int = DEFAULT_MIN_PARALLEL_ITEMS
+
+    def __post_init__(self) -> None:
+        if (not isinstance(self.workers, int)
+                or isinstance(self.workers, bool) or self.workers < 0):
+            raise ValueError(
+                f"workers must be a non-negative integer, "
+                f"got {self.workers!r}")
+        if self.join_strategy not in JOIN_STRATEGIES:
+            raise ValueError(
+                f"unknown join strategy {self.join_strategy!r}; "
+                f"expected one of: {', '.join(JOIN_STRATEGIES)}")
+        if not isinstance(self.min_parallel_items, int) \
+                or self.min_parallel_items < 1:
+            raise ValueError(
+                f"min_parallel_items must be a positive integer, "
+                f"got {self.min_parallel_items!r}")
+
+    def pool(self) -> WorkerPool | None:
+        """The shared pool for these settings (``None`` when inline)."""
+        return shared_pool(self.workers, self.min_parallel_items)

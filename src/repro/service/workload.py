@@ -60,6 +60,7 @@ from repro.distributed.runtime import (
 )
 from repro.engine.executor import UdfCallable
 from repro.engine.table import Table
+from repro.parallel.pool import ExecutionSettings
 from repro.exceptions import (
     DispatchError,
     NoCandidateError,
@@ -217,7 +218,11 @@ class QueryService:
     Parameters mirror the hand-wired pipeline: a schema, a policy, the
     participating subjects, the relation owners, and the authorities'
     stored tables.  Prices default to
-    :meth:`~repro.cost.pricing.PriceList.from_subjects`.  See
+    :meth:`~repro.cost.pricing.PriceList.from_subjects`.
+    ``settings`` selects the multicore data plane — worker count, join
+    strategy, and parallelism threshold
+    (:class:`~repro.parallel.pool.ExecutionSettings`) — shared by every
+    provider executor in the runtime.  See
     ``examples/workload_service.py`` for a complete walkthrough and
     ``python -m repro workload`` for a runnable multi-user demo.
     """
@@ -243,6 +248,7 @@ class QueryService:
                  fault_injector: FaultInjector | None = None,
                  retry: RetryPolicy | None = None,
                  failover: bool = True,
+                 settings: ExecutionSettings | None = None,
                  ) -> None:
         self.schema = schema
         self.policy = policy
@@ -281,7 +287,7 @@ class QueryService:
             executor_cache_bytes=executor_cache_bytes,
             clock=clock, sleeper=sleeper, health=health,
             fault_injector=fault_injector, retry=retry,
-            failover=failover,
+            failover=failover, settings=settings,
         )
         #: (sql, id(schema)) → (plan, pinned schema); see plan_query.
         self._plan_cache: _BoundedCache = _BoundedCache()
