@@ -1,0 +1,434 @@
+#!/usr/bin/env python
+"""Gateway saturation: fairness, lossless shedding, quota gating.
+
+The ISSUE-9 acceptance bar: a :class:`~repro.gateway.Gateway` driven at
+4x oversubscription (standing backlog = 4x the in-flight window) must
+
+* keep every tenant's **dispatch share** within 20% of its fair
+  weighted share while all tenants are backlogged;
+* lose nothing: every submit attempt either completes or is rejected
+  explicitly (``completed + rejected == submitted``, per tenant);
+* reject quota-exhausted tenants at :meth:`Gateway.submit`, **before
+  any planning work** — proven here by counting the service's
+  ``execute`` calls per query text;
+* emit a parseable Prometheus scrape whose counters agree with the
+  driver's own bookkeeping.
+
+Fairness is audited on **dispatch order**, not completion order:
+dispatches are numbered under the admission controller's lock and
+recorded in each :class:`~repro.cost.metering.LedgerEntry`, so the
+measurement is deterministic while executions overlap.  The audited
+window starts after a short warm-up (the queues fill tenant by tenant)
+and ends at the heaviest tenant's final dispatch — up to that point
+every tenant provably still had queries queued.
+
+``--quick`` runs a smaller smoke configuration for CI; ``--json PATH``
+emits the measurements for trend tracking.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_gateway_saturation.py
+    PYTHONPATH=src python benchmarks/bench_gateway_saturation.py \
+        --quick --json BENCH_gateway.json
+
+Structural invariants (fair shares, conservation, quota gating, scrape
+consistency) always gate the exit status.  The tail-latency bar (the
+heaviest tenant waits no longer than the lightest) gates only the full
+run: under ``--quick`` it is report-only, so contended CI runners
+cannot flake unrelated merges on timing noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import threading
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # allow running without PYTHONPATH set
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine.table import Table
+from repro.exceptions import AdmissionRejected, QuotaExceeded
+from repro.gateway import Gateway, TenantConfig
+from repro.paper_example import build_running_example
+from repro.service import QueryService
+
+#: Weighted tenants driving the saturation phase (the broke tenant is
+#: exhausted separately, before the storm).
+WEIGHTS = {"gold": 4, "silver": 2, "bronze": 1}
+
+#: Per-tenant queue depth; with ``max_inflight = len(WEIGHTS)`` the
+#: standing backlog is QUEUE_DEPTH x the in-flight window: 4x.
+QUEUE_DEPTH = 4
+
+#: Allowed relative deviation from the fair dispatch share (the ISSUE
+#: bar), with an absolute floor of two dispatches for tiny windows.
+FAIRNESS_TOLERANCE = 0.20
+
+#: Dispatches skipped at the start of the fairness window: the queues
+#: fill tenant by tenant while workers already drain, so the first few
+#: dispatches predate all-tenants-backlogged.
+WARMUP_DISPATCHES = 2 * len(WEIGHTS)
+
+#: Distinct query constants per tenant: enough to exercise plan and
+#: assignment caching, few enough that queries stay fast and uniform.
+VARIANTS = 4
+
+#: HAVING thresholds per tenant keep each tenant's SQL distinct, which
+#: is what lets the execute-call counter attribute planning per tenant.
+BASES = {"gold": 100, "silver": 200, "bronze": 300, "broke": 400}
+
+SQL_TEMPLATE = ("select T, avg(P) from Hosp join Ins on S=C "
+                "where D='stroke' group by T having avg(P)>{threshold}")
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$")
+_LABEL = re.compile(r'(\w+)="([^"]*)"')
+
+
+def tenant_sql(tenant: str, index: int) -> str:
+    return SQL_TEMPLATE.format(
+        threshold=BASES[tenant] + index % VARIANTS)
+
+
+def build_service(rows: int) -> QueryService:
+    example = build_running_example()
+    hosp = Table("Hosp", ("S", "B", "D", "T"), [
+        (f"s{i}", 1950 + i % 50, "stroke" if i % 3 else "flu",
+         "tpa" if i % 2 else "surgery")
+        for i in range(rows)
+    ])
+    ins = Table("Ins", ("C", "P"), [
+        (f"s{i}", 40.0 + 7.0 * (i % 30)) for i in range(rows)
+    ])
+    return QueryService(
+        example.schema, example.policy, example.subjects,
+        example.owners, {"H": {"Hosp": hosp}, "I": {"Ins": ins}},
+        user="U",
+    )
+
+
+def parse_scrape(text: str) -> dict:
+    """Prometheus text -> {family: [(labels dict, value)]}; strict."""
+    families: dict[str, list] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise SystemExit(f"unparseable scrape line: {line!r}")
+        labels = dict(_LABEL.findall(match.group("labels") or ""))
+        families.setdefault(match.group("name"), []).append(
+            (labels, float(match.group("value"))))
+    return families
+
+
+def by_tenant(families: dict, family: str,
+              extra: dict | None = None) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for labels, value in families.get(family, ()):
+        if extra is not None and any(labels.get(k) != v
+                                     for k, v in extra.items()):
+            continue
+        out[labels["tenant"]] = value
+    return out
+
+
+class TenantDriver:
+    """Keeps one tenant's queue topped up until its budget completes."""
+
+    def __init__(self, gateway: Gateway, name: str, budget: int) -> None:
+        self.gateway = gateway
+        self.name = name
+        self.budget = budget
+        self.attempts = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.done_count = 0
+        self.futures: list = []
+        self.lock = threading.Lock()
+        self.finished = threading.Event()
+
+    def pump(self) -> None:
+        with self.lock:
+            while (self.admitted < self.budget
+                   and self.gateway.queue_depths().get(self.name, 0)
+                   < QUEUE_DEPTH):
+                if not self._submit_locked():
+                    break
+
+    def probe(self) -> bool:
+        """One deliberate submit beyond the queue check; True if rejected."""
+        with self.lock:
+            admitted = self._submit_locked()
+            if admitted:
+                self.budget = max(self.budget, self.admitted)
+            return not admitted
+
+    def _submit_locked(self) -> bool:
+        self.attempts += 1
+        try:
+            future = self.gateway.submit(
+                self.name, tenant_sql(self.name, self.admitted))
+        except AdmissionRejected:
+            self.rejected += 1
+            return False
+        self.admitted += 1
+        self.futures.append(future)
+        future.add_done_callback(self._on_done)
+        return True
+
+    def _on_done(self, _future) -> None:
+        with self.lock:
+            self.done_count += 1
+            finished = (self.admitted >= self.budget
+                        and self.done_count == self.admitted)
+        if finished:
+            self.finished.set()
+        else:
+            self.pump()
+
+
+def exhaust_broke_tenant(gateway: Gateway, service_calls: dict):
+    """Run the broke tenant until its credits refuse admission."""
+    completed = 0
+    refusal = None
+    for index in range(12):
+        try:
+            gateway.execute("broke", tenant_sql("broke", index))
+            completed += 1
+        except QuotaExceeded as error:
+            refusal = error
+            break
+    broke_sqls = {tenant_sql("broke", index) for index in range(VARIANTS)}
+    planned = sum(count for sql, count in service_calls.items()
+                  if sql in broke_sqls)
+    return completed, refusal, planned
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller smoke configuration (CI)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="emit measurements to this JSON file")
+    arguments = parser.parse_args(argv)
+
+    budget, rows = (16, 40) if arguments.quick else (48, 80)
+    max_inflight = len(WEIGHTS)
+    oversubscription = QUEUE_DEPTH * len(WEIGHTS) / max_inflight
+
+    service = build_service(rows)
+    service_calls: dict[str, int] = {}
+    calls_lock = threading.Lock()
+    original_execute = service.execute
+
+    def counted_execute(sql, user=None, **kwargs):
+        with calls_lock:
+            service_calls[sql] = service_calls.get(sql, 0) + 1
+        return original_execute(sql, user=user, **kwargs)
+
+    service.execute = counted_execute
+
+    # Price one probe query so the broke tenant's prepaid credit covers
+    # roughly 2.5 queries: two clean debits plus one postpaid overdraw.
+    probe_cost = original_execute(
+        SQL_TEMPLATE.format(threshold=999)).cost_usd
+    broke_credits = 2.5 * probe_cost
+
+    tenants = [TenantConfig(name, weight=weight, queue_depth=QUEUE_DEPTH)
+               for name, weight in WEIGHTS.items()]
+    tenants.append(TenantConfig("broke", weight=1,
+                                queue_depth=QUEUE_DEPTH,
+                                credits_usd=broke_credits))
+    gateway = Gateway(service, tenants, max_inflight=max_inflight)
+
+    # ------------------------------------------------------------------
+    # Phase 1 — quota gating, before the storm.
+    # ------------------------------------------------------------------
+    broke_completed, broke_refusal, broke_planned = \
+        exhaust_broke_tenant(gateway, service_calls)
+
+    # ------------------------------------------------------------------
+    # Phase 2 — saturation: all weighted tenants backlogged at 4x.
+    # ------------------------------------------------------------------
+    drivers = {name: TenantDriver(gateway, name, budget)
+               for name in WEIGHTS}
+    started = time.perf_counter()
+    for driver in drivers.values():
+        driver.pump()
+    probe_rejections = 0
+    for driver in drivers.values():
+        for _ in range(20):  # a dispatch may free a slot mid-probe
+            if driver.probe():
+                probe_rejections += 1
+                break
+    for driver in drivers.values():
+        if not driver.finished.wait(timeout=600):
+            raise SystemExit(f"tenant {driver.name} never finished")
+    elapsed = time.perf_counter() - started
+    total_completed = sum(d.done_count for d in drivers.values())
+
+    # ------------------------------------------------------------------
+    # Audit: dispatch-order fairness within the backlogged window.
+    # ------------------------------------------------------------------
+    entries = [entry for entry in gateway.ledger.all_entries()
+               if entry.tenant in WEIGHTS
+               and entry.dispatch_sequence is not None]
+    entries.sort(key=lambda entry: entry.dispatch_sequence)
+    # Dispatch numbering is global — the broke tenant's phase-1 queries
+    # consumed the first few sequences — so the warm-up skip is relative
+    # to the first *saturation* dispatch.
+    first_dispatch = entries[0].dispatch_sequence
+    window_start = first_dispatch + WARMUP_DISPATCHES
+    gold_last = max(entry.dispatch_sequence for entry in entries
+                    if entry.tenant == "gold")
+    window = [entry.tenant for entry in entries
+              if window_start < entry.dispatch_sequence <= gold_last]
+    total_weight = sum(WEIGHTS.values())
+    shares = {}
+    fairness_misses = []
+    for name, weight in WEIGHTS.items():
+        served = window.count(name)
+        expected = len(window) * weight / total_weight
+        shares[name] = {"served": served, "expected": expected,
+                        "fair_share": weight / total_weight}
+        if abs(served - expected) > max(
+                FAIRNESS_TOLERANCE * expected, 2.0):
+            fairness_misses.append(
+                f"{name}: {served} dispatches in a window of "
+                f"{len(window)}, expected ~{expected:.1f} "
+                f"(weight {weight}/{total_weight})")
+
+    scrape = gateway.metrics_text()
+    families = parse_scrape(scrape)
+    gateway.close()
+    submitted = by_tenant(families, "repro_gateway_queries_submitted_total")
+    completed = by_tenant(families, "repro_gateway_queries_completed_total")
+    failed = by_tenant(families, "repro_gateway_queries_failed_total")
+    waits_sum = by_tenant(families, "repro_gateway_queue_wait_seconds_sum")
+    waits_count = by_tenant(families,
+                            "repro_gateway_queue_wait_seconds_count")
+    rejected_total: dict[str, float] = {}
+    for labels, value in families.get(
+            "repro_gateway_queries_rejected_total", ()):
+        rejected_total[labels["tenant"]] = \
+            rejected_total.get(labels["tenant"], 0.0) + value
+    mean_waits = {name: waits_sum.get(name, 0.0)
+                  / max(waits_count.get(name, 0.0), 1.0)
+                  for name in WEIGHTS}
+
+    print(f"gateway saturation: {len(WEIGHTS)} weighted tenants x "
+          f"{budget} queries, max_inflight={max_inflight}, "
+          f"queue_depth={QUEUE_DEPTH} "
+          f"({oversubscription:.0f}x oversubscription)")
+    print(f"  {total_completed} completed in {elapsed:.2f}s "
+          f"({total_completed / elapsed:.1f} q/s), "
+          f"{probe_rejections} overflow probes rejected")
+    for name in WEIGHTS:
+        share = shares[name]
+        print(f"  {name:7s} w={WEIGHTS[name]}: "
+              f"{share['served']:3d} window dispatches "
+              f"(expected {share['expected']:5.1f}), "
+              f"mean queue wait {mean_waits[name] * 1000:6.1f} ms")
+    print(f"  broke tenant: {broke_completed} completed on "
+          f"${broke_credits:.6f} credit, then rejected "
+          f"(reason={getattr(broke_refusal, 'reason', None)!r}); "
+          f"{broke_planned} planning cycles spent")
+
+    if arguments.json is not None:
+        arguments.json.write_text(json.dumps({
+            "quick": arguments.quick,
+            "budget_per_tenant": budget,
+            "max_inflight": max_inflight,
+            "queue_depth": QUEUE_DEPTH,
+            "oversubscription": oversubscription,
+            "elapsed_seconds": elapsed,
+            "throughput_qps": total_completed / elapsed,
+            "window_dispatches": len(window),
+            "shares": shares,
+            "mean_queue_wait_seconds": mean_waits,
+            "probe_rejections": probe_rejections,
+            "tenants": {
+                name: {"attempts": driver.attempts,
+                       "admitted": driver.admitted,
+                       "rejected": driver.rejected,
+                       "completed": driver.done_count}
+                for name, driver in drivers.items()},
+            "broke": {"credits_usd": broke_credits,
+                      "completed": broke_completed,
+                      "planned": broke_planned},
+        }, indent=2, sort_keys=True))
+        print(f"measurements written to {arguments.json}")
+
+    failures = list(fairness_misses)
+    # Conservation: nothing lost, nothing silently dropped.
+    for name, driver in drivers.items():
+        if driver.attempts != driver.admitted + driver.rejected:
+            failures.append(
+                f"{name}: {driver.attempts} attempts != "
+                f"{driver.admitted} admitted + {driver.rejected} rejected")
+        if driver.done_count != driver.admitted:
+            failures.append(
+                f"{name}: {driver.admitted} admitted but only "
+                f"{driver.done_count} resolved")
+        if any(not future.done() for future in driver.futures):
+            failures.append(f"{name}: unresolved futures after drain")
+    # The scrape agrees with the driver's own bookkeeping.
+    for name, driver in drivers.items():
+        if submitted.get(name) != driver.attempts:
+            failures.append(
+                f"scrape submitted[{name}]={submitted.get(name)} != "
+                f"driver attempts {driver.attempts}")
+        if completed.get(name) != driver.done_count:
+            failures.append(
+                f"scrape completed[{name}]={completed.get(name)} != "
+                f"driver completions {driver.done_count}")
+        if rejected_total.get(name, 0.0) != driver.rejected:
+            failures.append(
+                f"scrape rejected[{name}]={rejected_total.get(name)} "
+                f"!= driver rejections {driver.rejected}")
+    if any(failed.get(name, 0.0) for name in WEIGHTS):
+        failures.append(f"executions failed under saturation: {failed}")
+    if probe_rejections == 0:
+        failures.append("no overflow probe was ever rejected — the "
+                        "backlog never reached queue_depth")
+    # Quota gating: the broke tenant was stopped by credits, before
+    # planning: the service saw exactly its completed queries.
+    if broke_refusal is None:
+        failures.append("broke tenant was never quota-rejected")
+    elif broke_refusal.reason != "credits":
+        failures.append(
+            f"broke tenant rejected for {broke_refusal.reason!r}, "
+            f"expected 'credits'")
+    if broke_planned != broke_completed:
+        failures.append(
+            f"broke tenant spent {broke_planned} planning cycles for "
+            f"{broke_completed} completed queries — the rejected query "
+            f"reached the service")
+    if gold_mean := mean_waits["gold"]:
+        if gold_mean > mean_waits["bronze"]:
+            miss = (f"gold mean queue wait {gold_mean * 1000:.1f} ms "
+                    f"exceeds bronze "
+                    f"{mean_waits['bronze'] * 1000:.1f} ms")
+            if arguments.quick:
+                # Timing is report-only in smoke mode: shared CI
+                # runners are too contended to gate merges on it.
+                print(f"WARN (report-only under --quick): {miss}",
+                      file=sys.stderr)
+            else:
+                failures.append(miss)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

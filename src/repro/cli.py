@@ -10,6 +10,11 @@ Usage::
     python -m repro workload [--repeat 3] [--schedule parallel]
                     [--workers 4] [--join-strategy parallel-hash]
                                          # multi-user service session demo
+    python -m repro metrics [--tenants 3] [--repeat 2]
+                                         # gateway demo + Prometheus scrape
+
+Every knob is validated at parse time: a bad value exits with status 2
+and a one-line message naming the valid range, never a traceback.
 """
 
 from __future__ import annotations
@@ -21,6 +26,67 @@ from typing import Sequence
 from repro.experiments.ablation import mix_split_ablation
 from repro.experiments.economics import run_economics
 from repro.experiments.running_example import run_running_example
+from repro.parallel import JOIN_STRATEGIES
+
+#: Upper bound for ``metrics --tenants``: the demo gateway is a smoke
+#: scrape, not a load test.
+MAX_TENANTS = 64
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        value = 0
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 1, got {text!r}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        value = -1
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 0 (0 = inline execution), "
+            f"got {text!r}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        value = 0.0
+    if not value > 0.0:
+        raise argparse.ArgumentTypeError(
+            f"expected a number > 0, got {text!r}")
+    return value
+
+
+def _tenant_count(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        value = 0
+    if not 1 <= value <= MAX_TENANTS:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer in 1..{MAX_TENANTS}, got {text!r}")
+    return value
+
+
+def _query_list(text: str) -> tuple[int, ...] | None:
+    if not text.strip():
+        return None
+    try:
+        return tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated query numbers (e.g. 3,5,10), "
+            f"got {text!r}") from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,14 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig9 = commands.add_parser(
         "fig9", help="per-query TPC-H economics (Figure 9)")
-    fig9.add_argument("--scale", type=float, default=0.1,
-                      help="TPC-H scale factor for the estimates")
-    fig9.add_argument("--queries", type=str, default="",
+    fig9.add_argument("--scale", type=_positive_float, default=0.1,
+                      help="TPC-H scale factor for the estimates (> 0)")
+    fig9.add_argument("--queries", type=_query_list, default=None,
                       help="comma-separated query numbers (default: all)")
 
     fig10 = commands.add_parser(
         "fig10", help="cumulative TPC-H economics (Figure 10)")
-    fig10.add_argument("--scale", type=float, default=0.1)
+    fig10.add_argument("--scale", type=_positive_float, default=0.1)
 
     commands.add_parser(
         "dispatch", help="print the Figure 8 dispatch table")
@@ -52,25 +118,65 @@ def build_parser() -> argparse.ArgumentParser:
     ablate = commands.add_parser(
         "ablate-mix",
         help="UAPmix attribute-split ablation (uniform visibility)")
-    ablate.add_argument("--scale", type=float, default=0.1)
-    ablate.add_argument("--queries", type=str, default="3,5,10,18")
+    ablate.add_argument("--scale", type=_positive_float, default=0.1)
+    ablate.add_argument("--queries", type=_query_list,
+                        default=(3, 5, 10, 18))
 
     workload = commands.add_parser(
         "workload",
         help="run a multi-user SQL workload through the service layer")
-    workload.add_argument("--repeat", type=int, default=3,
-                          help="times each user repeats each query")
+    workload.add_argument("--repeat", type=_positive_int, default=3,
+                          help="times each user repeats each query (>= 1)")
     workload.add_argument("--schedule", type=str, default="parallel",
                           choices=("parallel", "sequential"),
                           help="fragment schedule for the runtime")
-    workload.add_argument("--workers", type=int, default=0,
+    workload.add_argument("--workers", type=_nonnegative_int, default=0,
                           help="data-plane worker processes "
                                "(0 = inline single-core execution)")
     workload.add_argument("--join-strategy", type=str, default="hash",
-                          help="join strategy: hash, parallel-hash, "
-                               "or nested-loop")
+                          choices=JOIN_STRATEGIES,
+                          help="join strategy for the data plane")
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="run a short gateway workload and dump a Prometheus scrape")
+    metrics.add_argument("--tenants", type=_tenant_count, default=3,
+                         help=f"tenants sharing the gateway "
+                              f"(1..{MAX_TENANTS})")
+    metrics.add_argument("--repeat", type=_positive_int, default=2,
+                         help="queries per tenant (>= 1)")
 
     return parser
+
+
+#: The paper's running-example query, shared by the demo commands.
+DEMO_SQL = ("select T, avg(P) from Hosp join Ins on S=C "
+            "where D='stroke' group by T having avg(P)>100")
+
+
+def _demo_service(schedule: str = "parallel", settings=None):
+    """The running example's service over a small concrete dataset."""
+    from repro.engine.table import Table
+    from repro.paper_example import build_running_example
+    from repro.service import QueryService
+
+    example = build_running_example()
+    hosp = Table("Hosp", ("S", "B", "D", "T"), [
+        ("s1", 1980, "stroke", "tpa"),
+        ("s2", 1975, "stroke", "tpa"),
+        ("s3", 1990, "flu", "rest"),
+        ("s4", 1960, "stroke", "surgery"),
+        ("s5", 1955, "stroke", "surgery"),
+    ])
+    ins = Table("Ins", ("C", "P"), [
+        ("s1", 150.0), ("s2", 90.0), ("s3", 200.0),
+        ("s4", 60.0), ("s5", 50.0),
+    ])
+    return QueryService(
+        example.schema, example.policy, example.subjects,
+        example.owners, {"H": {"Hosp": hosp}, "I": {"Ins": ins}},
+        user="U", schedule=schedule, settings=settings,
+    )
 
 
 def run_workload(repeat: int, schedule: str, workers: int = 0,
@@ -84,37 +190,18 @@ def run_workload(repeat: int, schedule: str, workers: int = 0,
     select the data plane; invalid values exit with a clear message
     before the service is built.
     """
-    from repro.engine.table import Table
     from repro.exceptions import UnauthorizedError
-    from repro.paper_example import build_running_example
     from repro.parallel import ExecutionSettings
-    from repro.service import QueryService
 
     try:
         settings = ExecutionSettings(workers=workers,
                                      join_strategy=join_strategy)
     except ValueError as error:
-        raise SystemExit(f"workload: {error}") from None
+        print(f"workload: {error}", file=sys.stderr)
+        raise SystemExit(2) from None
     repeat = max(1, repeat)
-    example = build_running_example()
-    hosp = Table("Hosp", ("S", "B", "D", "T"), [
-        ("s1", 1980, "stroke", "tpa"),
-        ("s2", 1975, "stroke", "tpa"),
-        ("s3", 1990, "flu", "rest"),
-        ("s4", 1960, "stroke", "surgery"),
-        ("s5", 1955, "stroke", "surgery"),
-    ])
-    ins = Table("Ins", ("C", "P"), [
-        ("s1", 150.0), ("s2", 90.0), ("s3", 200.0),
-        ("s4", 60.0), ("s5", 50.0),
-    ])
-    service = QueryService(
-        example.schema, example.policy, example.subjects,
-        example.owners, {"H": {"Hosp": hosp}, "I": {"Ins": ins}},
-        user="U", schedule=schedule, settings=settings,
-    )
-    sql = ("select T, avg(P) from Hosp join Ins on S=C "
-           "where D='stroke' group by T having avg(P)>100")
+    service = _demo_service(schedule=schedule, settings=settings)
+    sql = DEMO_SQL
     lines = [f"query: {sql}", ""]
     for user in ("U", "Y", "X"):
         session = service.session(user)
@@ -130,10 +217,31 @@ def run_workload(repeat: int, schedule: str, workers: int = 0,
     return "\n".join(lines)
 
 
-def _parse_queries(text: str) -> tuple[int, ...] | None:
-    if not text:
-        return None
-    return tuple(int(part) for part in text.split(",") if part.strip())
+def run_metrics(tenants: int = 3, repeat: int = 2) -> str:
+    """Drive a demo gateway and return the Prometheus scrape.
+
+    ``tenants`` weighted tenants (weights cycling 1..3, users
+    alternating U and Y) each run the paper's query ``repeat`` times
+    through a shared :class:`~repro.gateway.Gateway`; the return value
+    is the registry's text exposition — admission counters, queue
+    depths, fragment latencies, breaker states, and cache hit rates.
+    """
+    from repro.gateway import Gateway, TenantConfig
+
+    service = _demo_service()
+    configs = [
+        TenantConfig(f"tenant-{index}", weight=(index % 3) + 1,
+                     user="U" if index % 2 == 0 else "Y")
+        for index in range(tenants)
+    ]
+    gateway = Gateway(service, configs, max_inflight=2)
+    try:
+        for _ in range(max(1, repeat)):
+            for config in configs:
+                gateway.execute(config.name, DEMO_SQL)
+        return gateway.metrics_text()
+    finally:
+        gateway.close()
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -145,7 +253,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif arguments.command == "fig9":
         results = run_economics(
             scale=arguments.scale,
-            queries=_parse_queries(arguments.queries),
+            queries=arguments.queries,
         )
         print(results.figure9_table())
     elif arguments.command == "fig10":
@@ -154,7 +262,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif arguments.command == "dispatch":
         print(run_running_example().figure8.describe())
     elif arguments.command == "ablate-mix":
-        queries = _parse_queries(arguments.queries) or (3, 5, 10, 18)
+        queries = arguments.queries or (3, 5, 10, 18)
         totals = mix_split_ablation(queries, scale=arguments.scale)
         print(f"prefix split:      ${totals['prefix']:.6f}")
         print(f"alternating split: ${totals['alternating']:.6f}")
@@ -163,6 +271,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif arguments.command == "workload":
         print(run_workload(arguments.repeat, arguments.schedule,
                            arguments.workers, arguments.join_strategy))
+    elif arguments.command == "metrics":
+        print(run_metrics(arguments.tenants, arguments.repeat))
     return 0
 
 

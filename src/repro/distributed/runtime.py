@@ -335,6 +335,8 @@ class DistributedRuntime:
         self.fault_injector = fault_injector
         self.retry_policy = retry or RetryPolicy()
         self.failover_enabled = failover
+        #: Optional observability sink (see :meth:`attach_metrics`).
+        self._metrics_sink = None
         if user not in self.nodes:
             raise DispatchError(f"no runtime node for user {user!r}")
         self._subject_locks: dict[str, threading.Lock] = {}
@@ -473,6 +475,18 @@ class DistributedRuntime:
     def health_info(self) -> dict[str, dict[str, object]]:
         """Per-subject health snapshot (breaker state, EWMA, counters)."""
         return self.health.snapshot()
+
+    def attach_metrics(self, sink) -> None:
+        """Attach an observability sink for per-fragment latencies.
+
+        ``sink.observe_fragment(subject, seconds)`` is called once per
+        successful fragment execution with the measured wall time (the
+        same measurement that feeds the health registry's EWMA).  The
+        sink must be thread-safe — fragments complete on many worker
+        threads — and cheap: it runs on the fragment's critical path.
+        Pass ``None`` to detach.
+        """
+        self._metrics_sink = sink
 
     # ------------------------------------------------------------------
     # Policy-delta reconcile
@@ -798,8 +812,11 @@ class DistributedRuntime:
                 # our own enforcement).  Just release any probe slot.
                 self.health.release_probe(subject)
                 raise
-            self.health.record_success(subject,
-                                       self._clock() - started)
+            elapsed = self._clock() - started
+            self.health.record_success(subject, elapsed)
+            sink = self._metrics_sink
+            if sink is not None:
+                sink.observe_fragment(subject, elapsed)
             return result
 
     # ------------------------------------------------------------------

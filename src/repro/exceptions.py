@@ -110,6 +110,47 @@ class UnrecoverableAssignmentError(NoCandidateError):
     """
 
 
+class GatewayError(ReproError):
+    """Base class for multi-tenant gateway failures."""
+
+
+class AdmissionRejected(GatewayError):
+    """A tenant's queue is full; the query was refused before planning.
+
+    Carries the ``tenant`` and the configured ``queue_depth`` so callers
+    can implement client-side backoff.  Rejection is explicit and
+    load-shedding is lossless: a query is either admitted (and will
+    produce an outcome or an error) or rejected with this exception —
+    never silently dropped.
+    """
+
+    def __init__(self, message: str, *, tenant: str,
+                 queue_depth: int) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.queue_depth = queue_depth
+
+
+class QuotaExceeded(GatewayError):
+    """A tenant is out of rate tokens or credit; rejected pre-planning.
+
+    ``reason`` is ``"rate"`` (token bucket empty) or ``"credits"``
+    (credit account exhausted).  ``spent_usd`` is the tenant's metered
+    spend so far; ``retry_after_seconds`` is the token-bucket refill
+    time for rate rejections (``None`` for credit exhaustion — credit
+    comes back only via a deposit, not by waiting).
+    """
+
+    def __init__(self, message: str, *, tenant: str, reason: str,
+                 spent_usd: float,
+                 retry_after_seconds: float | None = None) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+        self.spent_usd = spent_usd
+        self.retry_after_seconds = retry_after_seconds
+
+
 class SqlError(ReproError):
     """Base class for SQL front-end errors."""
 

@@ -1,0 +1,33 @@
+"""Multi-tenant serving gateway: admission, quotas, metering, metrics.
+
+The production front-end the ROADMAP's north star asks for: many
+tenants share one :class:`~repro.service.QueryService` under bounded
+concurrency, weighted fair queueing, token-bucket rate limits, credit
+metering priced from the §7 cost model, and a Prometheus-style metrics
+registry.  See :mod:`repro.gateway.gateway` for the execution model and
+``docs/architecture.md`` for where the gateway sits in the stack.
+"""
+
+from repro.exceptions import AdmissionRejected, GatewayError, QuotaExceeded
+from repro.gateway.admission import (
+    DEFAULT_QUEUE_DEPTH,
+    AdmissionController,
+    FairScheduler,
+    fair_shares,
+)
+from repro.gateway.gateway import Gateway, TenantConfig
+from repro.gateway.quotas import TenantQuota, TokenBucket
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "DEFAULT_QUEUE_DEPTH",
+    "FairScheduler",
+    "Gateway",
+    "GatewayError",
+    "QuotaExceeded",
+    "TenantConfig",
+    "TenantQuota",
+    "TokenBucket",
+    "fair_shares",
+]

@@ -1,0 +1,395 @@
+"""The multi-tenant serving gateway in front of :class:`QueryService`.
+
+:class:`QueryService` runs one query at a time per caller;
+:class:`Gateway` turns it into a production front-end serving many
+tenants concurrently under explicit resource arbitration:
+
+* **admission control** — a bounded in-flight window with per-tenant
+  bounded queues drained by weighted fair round-robin
+  (:mod:`repro.gateway.admission`); overflow rejects with
+  :class:`~repro.exceptions.AdmissionRejected`, never drops silently;
+* **quotas & metering** — per-tenant token-bucket rate limits and
+  prepaid credit accounts (:mod:`repro.gateway.quotas`), debited from
+  each :class:`~repro.service.QueryOutcome`'s §7-costed trace and
+  journaled in a :class:`~repro.cost.metering.Ledger`.  Quota-exhausted
+  tenants are rejected at :meth:`Gateway.submit`, before a single
+  planning cycle is spent on them;
+* **observability** — every admission decision, queue depth, dispatch,
+  query latency, fragment latency (via the runtime's metrics sink),
+  breaker state and cache hit rate lands in a
+  :class:`~repro.obs.metrics.MetricsRegistry`, scrapable as Prometheus
+  text from :meth:`Gateway.metrics_text` (and ``python -m repro
+  metrics`` on the CLI).
+
+A *tenant* is a billing/QoS identity: its configured ``user`` (the
+authorization identity the policy knows) is what
+:meth:`QueryService.execute` enforces.  Several tenants may share one
+user while keeping separate queues, quotas and ledgers.
+
+Execution model: ``max_inflight`` daemon workers block on the
+admission controller, each executing one admitted query at a time
+through the shared service; :meth:`Gateway.submit` returns a
+:class:`concurrent.futures.Future` resolving to the
+:class:`~repro.service.QueryOutcome` (or raising the query's error).
+Time is injected via ``clock`` for deterministic queue-wait
+accounting; execution itself is as concurrent as the service allows.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.cost.metering import CreditAccount, Ledger
+from repro.exceptions import AdmissionRejected, GatewayError, QuotaExceeded
+from repro.gateway.admission import (
+    DEFAULT_QUEUE_DEPTH,
+    AdmissionController,
+)
+from repro.gateway.quotas import TenantQuota
+from repro.obs.metrics import MetricsRegistry
+from repro.service import QueryOutcome, QueryService
+
+#: Fragment executions are mostly sub-millisecond cache hits; queue
+#: waits under saturation reach seconds.  One bucket ladder covers both.
+_LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: Breaker states as gauge values.
+_BREAKER_STATES = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's admission, quota, and identity configuration.
+
+    Attributes
+    ----------
+    name:
+        The tenant identity (metrics label, ledger key).
+    weight:
+        Fair-queueing weight: under saturation the tenant receives a
+        ``weight / Σ active weights`` share of dispatches.
+    queue_depth:
+        Queries queued beyond the in-flight window before
+        :class:`AdmissionRejected`.
+    rate_per_second / burst:
+        Token-bucket rate limit (``None`` = unlimited rate).
+    credits_usd:
+        Prepaid credit (``None`` = unmetered); spend is debited from
+        each outcome's costed trace.
+    user:
+        The authorization identity queries run as (defaults to the
+        service's constructing user).
+    """
+
+    name: str
+    weight: int = 1
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    rate_per_second: float | None = None
+    burst: float = 1.0
+    credits_usd: float | None = None
+    user: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if not isinstance(self.weight, int) or self.weight < 1:
+            raise ValueError(
+                f"weight must be a positive integer, got {self.weight!r}")
+        if not isinstance(self.queue_depth, int) or self.queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be a positive integer, "
+                f"got {self.queue_depth!r}")
+
+
+class _Request:
+    """One admitted query waiting for (or in) execution."""
+
+    __slots__ = ("tenant", "sql", "user", "future", "enqueued_at",
+                 "dispatch_sequence")
+
+    def __init__(self, tenant: str, sql: str, user: str,
+                 enqueued_at: float) -> None:
+        self.tenant = tenant
+        self.sql = sql
+        self.user = user
+        self.future: Future = Future()
+        self.enqueued_at = enqueued_at
+        self.dispatch_sequence: int | None = None
+
+
+class _FragmentSink:
+    """Adapter: runtime fragment completions → a labelled histogram."""
+
+    def __init__(self, histogram) -> None:
+        self._histogram = histogram
+
+    def observe_fragment(self, subject: str, seconds: float) -> None:
+        self._histogram.labels(subject).observe(seconds)
+
+
+class Gateway:
+    """Multi-tenant admission/quota/metering front-end over one service."""
+
+    def __init__(self, service: QueryService,
+                 tenants: Iterable[TenantConfig], *,
+                 max_inflight: int = 4,
+                 clock=time.monotonic,
+                 registry: MetricsRegistry | None = None,
+                 ledger: Ledger | None = None) -> None:
+        tenants = list(tenants)
+        if not tenants:
+            raise ValueError("a gateway needs at least one tenant")
+        names = [config.name for config in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+        self.service = service
+        self.clock = clock
+        self.tenants: Mapping[str, TenantConfig] = {
+            config.name: config for config in tenants}
+        self.ledger = ledger if ledger is not None else Ledger()
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self._controller = AdmissionController(max_inflight)
+        self._quotas: dict[str, TenantQuota] = {}
+        for config in tenants:
+            self._controller.register(config.name, config.weight,
+                                      config.queue_depth)
+            self._quotas[config.name] = TenantQuota(
+                config.name, rate_per_second=config.rate_per_second,
+                burst=config.burst, credits_usd=config.credits_usd,
+                clock=clock)
+        self._register_metrics()
+        self.service.attach_metrics(
+            _FragmentSink(self._fragment_latency))
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._workers = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"gateway-worker-{index}")
+            for index in range(max_inflight)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _register_metrics(self) -> None:
+        registry = self.registry
+        self._submitted = registry.counter(
+            "repro_gateway_queries_submitted_total",
+            "Queries offered to the gateway, admitted or not.",
+            labelnames=("tenant",))
+        self._completed = registry.counter(
+            "repro_gateway_queries_completed_total",
+            "Queries executed to a result.", labelnames=("tenant",))
+        self._failed = registry.counter(
+            "repro_gateway_queries_failed_total",
+            "Admitted queries whose execution raised.",
+            labelnames=("tenant",))
+        self._rejected = registry.counter(
+            "repro_gateway_queries_rejected_total",
+            "Queries rejected before planning, by reason "
+            "(queue_full, rate, credits).",
+            labelnames=("tenant", "reason"))
+        self._queue_depth = registry.gauge(
+            "repro_gateway_queue_depth",
+            "Queries queued per tenant right now.",
+            labelnames=("tenant",))
+        self._inflight = registry.gauge(
+            "repro_gateway_inflight",
+            "Admitted queries currently executing.")
+        self._queue_wait = registry.histogram(
+            "repro_gateway_queue_wait_seconds",
+            "Admission-to-dispatch wait.", buckets=_LATENCY_BUCKETS,
+            labelnames=("tenant",))
+        self._query_seconds = registry.histogram(
+            "repro_gateway_query_seconds",
+            "End-to-end execution time of admitted queries.",
+            buckets=_LATENCY_BUCKETS, labelnames=("tenant",))
+        self._credits_spent = registry.counter(
+            "repro_gateway_credits_spent_usd_total",
+            "Metered spend per tenant (sum of costed traces).",
+            labelnames=("tenant",))
+        self._fragment_latency = registry.histogram(
+            "repro_fragment_latency_seconds",
+            "Per-subject fragment execution time (runtime sink).",
+            buckets=_LATENCY_BUCKETS, labelnames=("subject",))
+        self._breaker_state = registry.gauge(
+            "repro_breaker_state",
+            "Circuit breaker per subject (0 closed, 1 half-open, "
+            "2 open, 3 dead).", labelnames=("subject",))
+        self._breaker_trips = registry.counter(
+            "repro_breaker_trips_total",
+            "Circuit breaker trips per subject.",
+            labelnames=("subject",))
+        self._cache_hits = registry.counter(
+            "repro_cache_hits_total",
+            "Cache hits by cache (assignment, executor).",
+            labelnames=("cache",))
+        self._cache_misses = registry.counter(
+            "repro_cache_misses_total",
+            "Cache misses by cache (assignment, executor).",
+            labelnames=("cache",))
+        self._cache_entries = registry.gauge(
+            "repro_cache_entries",
+            "Resident entries by cache (plans, fragments, assignment).",
+            labelnames=("cache",))
+        registry.register_collector(self._collect)
+
+    def _collect(self) -> None:
+        """Mirror service/runtime snapshots into the registry (scrape)."""
+        for tenant, depth in self._controller.depths().items():
+            self._queue_depth.labels(tenant).set(depth)
+        for subject, record in self.service.health_info().items():
+            state = 3.0 if record["dead"] \
+                else _BREAKER_STATES[record["state"]]
+            self._breaker_state.labels(subject).set(state)
+            self._breaker_trips.labels(subject).set_total(
+                record["breaker_trips"])
+        info = self.service.cache_info()
+        assignment = info["assignment"]
+        self._cache_hits.labels("assignment").set_total(
+            assignment["hits"])
+        self._cache_misses.labels("assignment").set_total(
+            assignment["misses"])
+        self._cache_hits.labels("executor").set_total(
+            info["executor_hits"])
+        self._cache_misses.labels("executor").set_total(
+            info["executor_misses"])
+        self._cache_entries.labels("plans").set(info["plans"])
+        self._cache_entries.labels("assignment").set(assignment["size"])
+        self._cache_entries.labels("fragments").set(
+            info["fragment_entries"])
+
+    def metrics_text(self) -> str:
+        """The gateway's metrics in Prometheus text exposition format."""
+        return self.registry.render()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, tenant: str, sql: str) -> Future:
+        """Offer one query; returns a Future of its ``QueryOutcome``.
+
+        Raises — all *before* any planning work is spent —
+        ``ValueError`` for an unknown tenant,
+        :class:`~repro.exceptions.QuotaExceeded` when the tenant is out
+        of credit or rate tokens, and
+        :class:`~repro.exceptions.AdmissionRejected` when its queue is
+        full.
+        """
+        config = self.tenants.get(tenant)
+        if config is None:
+            raise ValueError(f"unknown tenant {tenant!r}; configured: "
+                             f"{sorted(self.tenants)}")
+        if self._closed:
+            raise GatewayError("gateway is closed")
+        self._submitted.labels(tenant).inc()
+        try:
+            self._quotas[tenant].check(self.ledger)
+        except QuotaExceeded as refusal:
+            self._rejected.labels(tenant, refusal.reason).inc()
+            raise
+        request = _Request(tenant, sql, config.user or self.service.user,
+                           self.clock())
+        try:
+            self._controller.submit(tenant, request)
+        except AdmissionRejected:
+            self._rejected.labels(tenant, "queue_full").inc()
+            raise
+        return request.future
+
+    def execute(self, tenant: str, sql: str) -> QueryOutcome:
+        """Submit and block for the outcome (convenience wrapper)."""
+        return self.submit(tenant, sql).result()
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            acquired = self._controller.acquire()
+            if acquired is None:
+                return
+            tenant, request, dispatch_sequence = acquired
+            request.dispatch_sequence = dispatch_sequence
+            self._queue_wait.labels(tenant).observe(
+                self.clock() - request.enqueued_at)
+            self._inflight.inc()
+            try:
+                self._execute_request(tenant, request)
+            finally:
+                self._inflight.dec()
+                self._controller.release()
+
+    def _execute_request(self, tenant: str, request: _Request) -> None:
+        quota = self._quotas[tenant]
+        started = self.clock()
+        try:
+            outcome = self.service.execute(request.sql, user=request.user)
+        except BaseException as error:  # noqa: BLE001 — relayed, not hidden
+            self._failed.labels(tenant).inc()
+            self.ledger.record(
+                tenant, user=request.user, sql=request.sql,
+                cost_usd=0.0, wall_seconds=self.clock() - started,
+                status="failed",
+                dispatch_sequence=request.dispatch_sequence)
+            request.future.set_exception(error)
+            return
+        quota.settle(outcome.cost_usd)
+        self._credits_spent.labels(tenant).inc(outcome.cost_usd)
+        self._completed.labels(tenant).inc()
+        self._query_seconds.labels(tenant).observe(outcome.wall_seconds)
+        self.ledger.record(
+            tenant, user=request.user, sql=request.sql,
+            cost_usd=outcome.cost_usd,
+            wall_seconds=outcome.wall_seconds, status="completed",
+            dispatch_sequence=request.dispatch_sequence)
+        request.future.set_result(outcome)
+
+    # ------------------------------------------------------------------
+    # Introspection & lifecycle
+    # ------------------------------------------------------------------
+    def account(self, tenant: str) -> CreditAccount:
+        """The tenant's live credit account (deposit/balance access)."""
+        return self._quotas[tenant].account
+
+    def queue_depths(self) -> dict[str, int]:
+        """Queued queries per tenant right now."""
+        return self._controller.depths()
+
+    def dispatched(self) -> int:
+        """Total queries handed to workers so far."""
+        return self._controller.dispatched
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the gateway.
+
+        ``drain=True`` (default) finishes every queued query first;
+        ``drain=False`` fails pending queries with
+        :class:`~repro.exceptions.GatewayError` — either way nothing is
+        silently dropped.  Idempotent; blocks until workers exit.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            dropped = self._controller.close(drain=drain)
+        for _, request in dropped:
+            request.future.set_exception(
+                GatewayError("gateway closed before execution"))
+        for worker in self._workers:
+            worker.join()
+        self.service.attach_metrics(None)
+
+    def __enter__(self) -> "Gateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,22 @@
+"""Observability: the dependency-free metrics layer.
+
+:mod:`repro.obs.metrics` is a small Prometheus-style metrics registry
+(counters, gauges, fixed-bucket histograms, text exposition).  It
+deliberately imports nothing from the rest of the library, so every
+layer — the gateway, the distributed runtime, benchmarks — can emit
+metrics without creating import cycles.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]

@@ -523,6 +523,13 @@ class QueryService:
         """Per-subject health snapshot (breaker state, EWMA, counters)."""
         return self.runtime.health_info()
 
+    def attach_metrics(self, sink) -> None:
+        """Attach a runtime observability sink (see
+        :meth:`~repro.distributed.runtime.DistributedRuntime.attach_metrics`);
+        the gateway (:mod:`repro.gateway`) uses this to fill its
+        fragment-latency histograms."""
+        self.runtime.attach_metrics(sink)
+
     def describe(self) -> str:
         """Service-level summary across every query it has run."""
         info = self.cache_info()

@@ -2,9 +2,81 @@
 
 from __future__ import annotations
 
+import re
+
 from repro.core.operators import BaseRelationNode, Udf
 from repro.core.plan import QueryPlan
 from repro.core.schema import Relation, Schema
+
+#: One exposition sample: name, optional {labels}, value.
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>[^ ]+)$")
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse (and structurally validate) Prometheus text exposition.
+
+    Returns ``{family_name: {"type": ..., "help": ..., "samples":
+    [(name, labels_dict, value), ...]}}``.  Raises ``AssertionError``
+    on malformed lines, samples without a preceding TYPE, or
+    non-cumulative histogram buckets — the shared gate for every test
+    that asserts "emits valid Prometheus text format".
+    """
+    families: dict[str, dict] = {}
+    current: str | None = None
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, {"samples": []})["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert kind in ("counter", "gauge", "histogram"), line
+            families.setdefault(name, {"samples": []})["type"] = kind
+            current = name
+            continue
+        assert not line.startswith("#"), f"unknown comment line: {line!r}"
+        match = _SAMPLE_LINE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        name = match.group("name")
+        assert current is not None and name.startswith(current), \
+            f"sample {name!r} outside its family block"
+        labels = dict(_LABEL_PAIR.findall(match.group("labels") or ""))
+        value = float(match.group("value"))
+        families[current]["samples"].append((name, labels, value))
+    for name, family in families.items():
+        assert "type" in family, f"{name} has no TYPE line"
+        assert "help" in family, f"{name} has no HELP line"
+        if family["type"] == "histogram":
+            _check_histogram(name, family["samples"])
+    return families
+
+
+def _check_histogram(name: str, samples: list) -> None:
+    """Bucket series must be cumulative and end at +Inf == _count."""
+    by_labelset: dict[tuple, list[tuple[str, float]]] = {}
+    counts: dict[tuple, float] = {}
+    for sample_name, labels, value in samples:
+        key = tuple(sorted((k, v) for k, v in labels.items()
+                           if k != "le"))
+        if sample_name == f"{name}_bucket":
+            by_labelset.setdefault(key, []).append((labels["le"], value))
+        elif sample_name == f"{name}_count":
+            counts[key] = value
+    for key, buckets in by_labelset.items():
+        cumulative = [value for _, value in buckets]
+        assert cumulative == sorted(cumulative), \
+            f"{name} buckets not cumulative for {key}"
+        assert buckets[-1][0] == "+Inf", f"{name} missing +Inf bucket"
+        assert buckets[-1][1] == counts[key], \
+            f"{name} +Inf bucket != _count for {key}"
 
 
 def make_udf_plan(schema_attrs: int = 3) -> tuple[QueryPlan, Schema]:

@@ -2,6 +2,7 @@
 
 import pytest
 
+from helpers import parse_prometheus
 from repro.cli import main
 from repro.experiments.economics import EconomicResults, run_economics
 from repro.exceptions import ReproError
@@ -45,6 +46,46 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_metrics_command_emits_valid_prometheus(self, capsys):
+        assert main(["metrics", "--tenants", "2", "--repeat", "1"]) == 0
+        families = parse_prometheus(capsys.readouterr().out)
+        for name in ("repro_gateway_queries_submitted_total",
+                     "repro_gateway_queue_depth",
+                     "repro_fragment_latency_seconds",
+                     "repro_breaker_state",
+                     "repro_cache_hits_total"):
+            assert name in families, f"missing series {name}"
+        submitted = families["repro_gateway_queries_submitted_total"]
+        tenants = {labels["tenant"] for _, labels, _
+                   in submitted["samples"]}
+        assert tenants == {"tenant-0", "tenant-1"}
+
+
+class TestCliValidation:
+    """Bad knob values exit status 2 with a one-line ranged message."""
+
+    @pytest.mark.parametrize("argv, needle", [
+        (["workload", "--workers", "-3"], ">= 0"),
+        (["workload", "--workers", "many"], ">= 0"),
+        (["workload", "--join-strategy", "turbo"], "invalid choice"),
+        (["workload", "--repeat", "0"], ">= 1"),
+        (["workload", "--schedule", "bogus"], "invalid choice"),
+        (["metrics", "--tenants", "0"], "1..64"),
+        (["metrics", "--tenants", "900"], "1..64"),
+        (["metrics", "--repeat", "-1"], ">= 1"),
+        (["fig9", "--scale", "-1"], "> 0"),
+        (["fig9", "--scale", "nan"], "> 0"),
+        (["fig9", "--queries", "foo"], "comma-separated"),
+        (["ablate-mix", "--queries", "3,,x"], "comma-separated"),
+    ])
+    def test_bad_knobs_exit_status_2(self, argv, needle, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        message = capsys.readouterr().err.strip().splitlines()[-1]
+        assert "error:" in message and needle in message
+        assert "Traceback" not in message
 
 
 class TestEconomicsApi:

@@ -286,13 +286,17 @@ class TestObfuscatorPool:
 
 
 class TestWorkloadCli:
-    def test_negative_workers_exit_with_clear_error(self):
-        with pytest.raises(SystemExit, match="non-negative"):
+    def test_negative_workers_exit_with_clear_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             run_workload(1, "sequential", workers=-2)
+        assert excinfo.value.code == 2
+        assert "non-negative" in capsys.readouterr().err
 
-    def test_unknown_join_strategy_exits_with_choices(self):
-        with pytest.raises(SystemExit, match="hash, parallel-hash"):
+    def test_unknown_join_strategy_exits_with_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             run_workload(1, "sequential", join_strategy="merge")
+        assert excinfo.value.code == 2
+        assert "hash, parallel-hash" in capsys.readouterr().err
 
 
 class TestServiceSettings:
