@@ -1,0 +1,382 @@
+#!/usr/bin/env python
+"""Deadlines, cancellation, and shedding: the ISSUE-10 acceptance bars.
+
+Three gated phases over the paper's running example:
+
+* **Shed before planning** — queries whose deadline lapses while they
+  sit in the gateway queue are settled at dequeue, and queries the
+  latency predictor expects to blow their budget are refused at
+  submit.  Both are proven by counting the service's ``execute``
+  calls: a shed query must never reach planning.
+* **Bounded abort latency** — under an injected clock, a query whose
+  deadline expires mid-execution unwinds within one simulated
+  provider call of the deadline (the cooperative-checkpoint bound);
+  on full runs a real-clock mid-flight ``cancel()`` must return
+  within one provider latency plus scheduling slack.
+* **No poisoned caches** — a query cancelled at *every* sampled
+  checkpoint leaves the service's caches coherent: re-running the
+  same query on the same (aborted) service is bit-identical to a
+  clean run on a fresh service.
+
+``--quick`` runs a smaller smoke configuration for CI; ``--json PATH``
+emits the measurements for trend tracking.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_deadlines.py
+    PYTHONPATH=src python benchmarks/bench_deadlines.py \
+        --quick --json BENCH_deadlines.json
+
+The structural invariants (shed-before-planning, fake-clock abort
+bound, cache coherence) always gate the exit status.  The real-clock
+cancel-to-return bar gates only the full run: under ``--quick`` it is
+report-only, so contended CI runners cannot flake unrelated merges on
+timing noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # allow running without PYTHONPATH set
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.budget import CancellationToken, QueryBudget
+from repro.engine.table import Table
+from repro.exceptions import (
+    DeadlineExceededError,
+    QueryCancelledError,
+    SheddedError,
+)
+from repro.gateway import Gateway, TenantConfig
+from repro.paper_example import build_running_example
+from repro.service import QueryService
+
+SQL = ("select T, avg(P) from Hosp join Ins on S=C "
+       "where D='stroke' group by T having avg(P)>100")
+
+#: A second query text so the predictive-shed probe has its own EWMA.
+TEACH_SQL = SQL.replace(">100", ">150")
+
+#: The query the dequeue-shed phase blocks behind (distinct text so the
+#: execute-call counter can attribute planning per phase).
+BLOCKER_SQL = SQL.replace(">100", ">200")
+
+#: Simulated provider latency for the fake-clock abort-latency phase.
+FAKE_LATENCY_SECONDS = 0.01
+
+#: Deadline for the fake-clock abort-latency phase: dies mid-run.
+FAKE_DEADLINE_SECONDS = 0.025
+
+#: Real provider latency and mid-flight cancel point for the
+#: cancel-to-return measurement.
+REAL_LATENCY_SECONDS = 0.05
+CANCEL_AFTER_SECONDS = 0.02
+
+#: Cancel-to-return bound on full runs: one provider call plus
+#: generous scheduling slack.
+CANCEL_RETURN_BOUND_SECONDS = REAL_LATENCY_SECONDS + 0.25
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class CountingToken(CancellationToken):
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.checks = 0
+
+    def check(self, where: str) -> None:
+        self.checks += 1
+        super().check(where)
+
+
+class CancelAtToken(CountingToken):
+    def __init__(self, cancel_at: int, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.cancel_at = cancel_at
+
+    def check(self, where: str) -> None:
+        if self.checks + 1 >= self.cancel_at:
+            self.cancel(f"chaos cancel at checkpoint #{self.cancel_at}")
+        super().check(where)
+
+
+def build_service(rows: int, **kwargs) -> QueryService:
+    example = build_running_example()
+    hosp = Table("Hosp", ("S", "B", "D", "T"), [
+        (f"s{i}", 1950 + i % 50, "stroke" if i % 3 else "flu",
+         "tpa" if i % 2 else "surgery")
+        for i in range(rows)
+    ])
+    ins = Table("Ins", ("C", "P"), [
+        (f"s{i}", 40.0 + 7.0 * (i % 30)) for i in range(rows)
+    ])
+    return QueryService(
+        example.schema, example.policy, example.subjects,
+        example.owners, {"H": {"Hosp": hosp}, "I": {"Ins": ins}},
+        user="U", **kwargs,
+    )
+
+
+def rows_key(table: Table):
+    return sorted(map(repr, table.rows))
+
+
+# ----------------------------------------------------------------------
+# Phase 1 — shed before planning (gateway, counted service)
+# ----------------------------------------------------------------------
+def run_shed_phase(rows: int, doomed_count: int,
+                   failures: list[str]) -> dict:
+    clock = FakeClock()
+    service = build_service(rows)
+    service_calls: dict[str, int] = {}
+    calls_lock = threading.Lock()
+    blocker_gate = threading.Event()
+    original_execute = service.execute
+
+    def counted_execute(sql, user=None, **kwargs):
+        with calls_lock:
+            service_calls[sql] = service_calls.get(sql, 0) + 1
+        if sql == BLOCKER_SQL:
+            assert blocker_gate.wait(timeout=60)
+        return original_execute(sql, user=user, **kwargs)
+
+    service.execute = counted_execute
+    gateway = Gateway(service, [TenantConfig("t", user="U")],
+                      max_inflight=1, clock=clock)
+    try:
+        # Teach the predictor what TEACH_SQL costs (real wall time).
+        gateway.execute("t", TEACH_SQL)
+
+        # Dequeue shedding: park the worker behind the blocker, queue
+        # budgeted queries, lapse their deadline while they wait.
+        blocker = gateway.submit("t", BLOCKER_SQL)
+        doomed = [gateway.submit("t", SQL,
+                                 budget=QueryBudget(deadline_seconds=5.0))
+                  for _ in range(doomed_count)]
+        clock.sleep(60.0)  # every queued deadline lapses
+        blocker_gate.set()
+        blocker.result(timeout=60)
+        dequeue_shed = 0
+        for future in doomed:
+            try:
+                future.result(timeout=60)
+                failures.append("queued-but-expired query executed "
+                                "instead of being shed at dequeue")
+            except DeadlineExceededError as error:
+                dequeue_shed += 1
+                if error.where != "gateway:dequeue":
+                    failures.append(
+                        f"expired queue entry unwound from "
+                        f"{error.where!r}, expected 'gateway:dequeue'")
+
+        # Predictive shedding: the taught EWMA exceeds a microscopic
+        # deadline, so the submit itself must refuse the query.
+        predicted_shed = False
+        try:
+            gateway.submit("t", TEACH_SQL,
+                           budget=QueryBudget(deadline_seconds=1e-7))
+            failures.append("predicted-to-fail query was admitted")
+        except SheddedError as error:
+            predicted_shed = True
+            if error.reason != "predicted_deadline":
+                failures.append(
+                    f"shed reason {error.reason!r}, expected "
+                    f"'predicted_deadline'")
+    finally:
+        blocker_gate.set()
+        gateway.close()
+
+    shed_planned = service_calls.get(SQL, 0)
+    if shed_planned:
+        failures.append(
+            f"{shed_planned} shed queries reached the service — "
+            f"shedding must happen before planning")
+    if dequeue_shed != doomed_count:
+        failures.append(
+            f"only {dequeue_shed}/{doomed_count} expired queue "
+            f"entries were shed at dequeue")
+    return {
+        "doomed_queued": doomed_count,
+        "dequeue_shed": dequeue_shed,
+        "predictive_shed": predicted_shed,
+        "shed_planning_calls": shed_planned,
+    }
+
+
+# ----------------------------------------------------------------------
+# Phase 2 — bounded abort latency
+# ----------------------------------------------------------------------
+def run_abort_latency_phase(rows: int, quick: bool,
+                            failures: list[str]) -> dict:
+    # Fake clock: the deadline may overshoot by at most one simulated
+    # provider call before a checkpoint notices.
+    clock = FakeClock()
+    service = build_service(rows, clock=clock, sleeper=clock.sleep,
+                            latency_seconds=FAKE_LATENCY_SECONDS)
+    overshoot = None
+    try:
+        service.execute(
+            SQL, budget=QueryBudget(deadline_seconds=FAKE_DEADLINE_SECONDS))
+        failures.append("fake-clock deadline never fired")
+    except DeadlineExceededError as error:
+        overshoot = error.elapsed_seconds - FAKE_DEADLINE_SECONDS
+        if overshoot > FAKE_LATENCY_SECONDS + 1e-9:
+            failures.append(
+                f"abort latency {overshoot * 1000:.2f} ms exceeds one "
+                f"provider call ({FAKE_LATENCY_SECONDS * 1000:.0f} ms)")
+
+    # Real clock: cancel mid-flight, measure cancel-to-return.
+    real = build_service(rows, latency_seconds=REAL_LATENCY_SECONDS)
+    token = CancellationToken()
+    returned: list[float] = []
+    caught: list[BaseException] = []
+
+    def run_query():
+        try:
+            real.execute(SQL, token=token)
+        except QueryCancelledError as error:
+            caught.append(error)
+        returned.append(time.perf_counter())
+
+    worker = threading.Thread(target=run_query)
+    worker.start()
+    time.sleep(CANCEL_AFTER_SECONDS)
+    cancelled_at = time.perf_counter()
+    token.cancel("bench cancel")
+    worker.join(timeout=60)
+    cancel_to_return = (returned[0] - cancelled_at) if returned else None
+    if not caught:
+        failures.append("real-clock cancel never raised "
+                        "QueryCancelledError")
+    if cancel_to_return is None:
+        failures.append("cancelled query never returned")
+    elif cancel_to_return > CANCEL_RETURN_BOUND_SECONDS and not quick:
+        failures.append(
+            f"cancel-to-return {cancel_to_return * 1000:.1f} ms exceeds "
+            f"{CANCEL_RETURN_BOUND_SECONDS * 1000:.0f} ms")
+    return {
+        "fake_clock_overshoot_seconds": overshoot,
+        "fake_clock_bound_seconds": FAKE_LATENCY_SECONDS,
+        "cancel_to_return_seconds": cancel_to_return,
+        "cancel_to_return_bound_seconds": CANCEL_RETURN_BOUND_SECONDS,
+        "cancel_bound_gated": not quick,
+    }
+
+
+# ----------------------------------------------------------------------
+# Phase 3 — no poisoned caches (cancel at every sampled checkpoint)
+# ----------------------------------------------------------------------
+def run_cache_coherence_phase(rows: int, samples: int,
+                              failures: list[str]) -> dict:
+    clean = rows_key(build_service(
+        rows, sleeper=lambda seconds: None).execute(SQL).result)
+    probe = CountingToken()
+    build_service(rows, sleeper=lambda seconds: None).execute(
+        SQL, token=probe)
+    total = probe.checks
+    if total <= samples:
+        positions = list(range(1, total + 1))
+    else:
+        step = total / samples
+        positions = sorted({max(1, round(step * i))
+                            for i in range(1, samples)}) + [total]
+    coherent = 0
+    for position in positions:
+        service = build_service(rows, sleeper=lambda seconds: None)
+        try:
+            service.execute(SQL, token=CancelAtToken(position))
+            failures.append(
+                f"cancel at checkpoint {position}/{total} did not abort")
+            continue
+        except QueryCancelledError:
+            pass
+        rerun = service.execute(SQL)
+        if rows_key(rerun.result) == clean:
+            coherent += 1
+        else:
+            failures.append(
+                f"rerun after cancel at checkpoint {position}/{total} "
+                f"diverged from the clean run — a cache was poisoned")
+    return {
+        "total_checkpoints": total,
+        "positions_tested": positions,
+        "coherent_reruns": coherent,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller smoke configuration (CI)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="emit measurements to this JSON file")
+    arguments = parser.parse_args(argv)
+
+    rows, doomed, samples = (24, 3, 6) if arguments.quick else (60, 8, 12)
+    failures: list[str] = []
+    started = time.perf_counter()
+
+    shed = run_shed_phase(rows, doomed, failures)
+    aborts = run_abort_latency_phase(rows, arguments.quick, failures)
+    caches = run_cache_coherence_phase(rows, samples, failures)
+    elapsed = time.perf_counter() - started
+
+    print(f"deadlines bench: rows={rows}, {doomed} queued-expired, "
+          f"{len(caches['positions_tested'])} cancel points "
+          f"({elapsed:.2f}s)")
+    print(f"  shed at dequeue : {shed['dequeue_shed']}/"
+          f"{shed['doomed_queued']} expired entries settled, "
+          f"{shed['shed_planning_calls']} reached planning; "
+          f"predictive shed at submit: {shed['predictive_shed']}")
+    overshoot = aborts["fake_clock_overshoot_seconds"]
+    print(f"  abort latency   : fake-clock overshoot "
+          f"{(overshoot or 0) * 1000:.2f} ms "
+          f"(bound {FAKE_LATENCY_SECONDS * 1000:.0f} ms = one call); "
+          f"cancel-to-return "
+          f"{(aborts['cancel_to_return_seconds'] or 0) * 1000:.1f} ms "
+          f"(bound {CANCEL_RETURN_BOUND_SECONDS * 1000:.0f} ms, "
+          f"{'gated' if aborts['cancel_bound_gated'] else 'report-only'})")
+    print(f"  cache coherence : {caches['coherent_reruns']}/"
+          f"{len(caches['positions_tested'])} cancel points replay "
+          f"bit-identical across {caches['total_checkpoints']} "
+          f"checkpoints")
+
+    if arguments.json is not None:
+        arguments.json.write_text(json.dumps({
+            "quick": arguments.quick,
+            "rows": rows,
+            "elapsed_seconds": elapsed,
+            "shed": shed,
+            "abort_latency": aborts,
+            "cache_coherence": caches,
+        }, indent=2, sort_keys=True))
+        print(f"measurements written to {arguments.json}")
+
+    if failures:
+        print("\nFAILED bars:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nall deadline bars hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

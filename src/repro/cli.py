@@ -9,8 +9,10 @@ Usage::
     python -m repro ablate-mix           # uniform-visibility ablation
     python -m repro workload [--repeat 3] [--schedule parallel]
                     [--workers 4] [--join-strategy parallel-hash]
+                    [--deadline-ms 500] [--cost-ceiling 0.01]
                                          # multi-user service session demo
     python -m repro metrics [--tenants 3] [--repeat 2]
+                    [--deadline-ms 500] [--cost-ceiling 0.01]
                                          # gateway demo + Prometheus scrape
 
 Every knob is validated at parse time: a bad value exits with status 2
@@ -78,6 +80,28 @@ def _tenant_count(text: str) -> int:
     return value
 
 
+def _deadline_ms(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        value = 0.0
+    if not value > 0.0:
+        raise argparse.ArgumentTypeError(
+            f"expected a deadline in milliseconds > 0, got {text!r}")
+    return value
+
+
+def _cost_ceiling(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        value = 0.0
+    if not value > 0.0:
+        raise argparse.ArgumentTypeError(
+            f"expected a cost ceiling in USD > 0, got {text!r}")
+    return value
+
+
 def _query_list(text: str) -> tuple[int, ...] | None:
     if not text.strip():
         return None
@@ -136,6 +160,14 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--join-strategy", type=str, default="hash",
                           choices=JOIN_STRATEGIES,
                           help="join strategy for the data plane")
+    workload.add_argument("--deadline-ms", type=_deadline_ms,
+                          default=None,
+                          help="per-query wall-clock deadline in "
+                               "milliseconds (> 0; default: none)")
+    workload.add_argument("--cost-ceiling", type=_cost_ceiling,
+                          default=None,
+                          help="per-query §7 cost ceiling in USD "
+                               "(> 0; default: none)")
 
     metrics = commands.add_parser(
         "metrics",
@@ -145,6 +177,14 @@ def build_parser() -> argparse.ArgumentParser:
                               f"(1..{MAX_TENANTS})")
     metrics.add_argument("--repeat", type=_positive_int, default=2,
                          help="queries per tenant (>= 1)")
+    metrics.add_argument("--deadline-ms", type=_deadline_ms,
+                         default=None,
+                         help="per-query wall-clock deadline in "
+                              "milliseconds (> 0; default: none)")
+    metrics.add_argument("--cost-ceiling", type=_cost_ceiling,
+                         default=None,
+                         help="per-query §7 cost ceiling in USD "
+                              "(> 0; default: none)")
 
     return parser
 
@@ -179,18 +219,34 @@ def _demo_service(schedule: str = "parallel", settings=None):
     )
 
 
+def _budget_from_flags(deadline_ms: float | None,
+                       cost_ceiling: float | None):
+    """The ``QueryBudget`` the CLI flags describe, or ``None``."""
+    from repro.core.budget import QueryBudget
+
+    if deadline_ms is None and cost_ceiling is None:
+        return None
+    return QueryBudget(
+        deadline_seconds=None if deadline_ms is None
+        else deadline_ms / 1000.0,
+        cost_ceiling_usd=cost_ceiling)
+
+
 def run_workload(repeat: int, schedule: str, workers: int = 0,
-                 join_strategy: str = "hash") -> str:
+                 join_strategy: str = "hash",
+                 deadline_ms: float | None = None,
+                 cost_ceiling: float | None = None) -> str:
     """A small multi-user workload over the running example's service.
 
     Users U and Y repeat the paper's query (Y is entitled to the
     plaintext result: its view covers T and P); X is refused — the
     assignment pipeline blocks users the policy does not authorize for
     the result, before anything executes.  ``workers``/``join_strategy``
-    select the data plane; invalid values exit with a clear message
-    before the service is built.
+    select the data plane; ``deadline_ms``/``cost_ceiling`` bound each
+    query with a :class:`~repro.core.budget.QueryBudget`.  Invalid
+    values exit with a clear message before the service is built.
     """
-    from repro.exceptions import UnauthorizedError
+    from repro.exceptions import QueryAbortedError, UnauthorizedError
     from repro.parallel import ExecutionSettings
 
     try:
@@ -199,6 +255,7 @@ def run_workload(repeat: int, schedule: str, workers: int = 0,
     except ValueError as error:
         print(f"workload: {error}", file=sys.stderr)
         raise SystemExit(2) from None
+    budget = _budget_from_flags(deadline_ms, cost_ceiling)
     repeat = max(1, repeat)
     service = _demo_service(schedule=schedule, settings=settings)
     sql = DEMO_SQL
@@ -207,27 +264,37 @@ def run_workload(repeat: int, schedule: str, workers: int = 0,
         session = service.session(user)
         try:
             for _ in range(repeat):
-                outcome = session.run(sql)
+                outcome = session.run(sql, budget=budget)
             lines.append(f"  {outcome.describe()}")
             lines.append(f"  {session.describe()}")
         except UnauthorizedError as error:
             lines.append(f"  {user}: DENIED — {error}")
+        except QueryAbortedError as error:
+            lines.append(f"  {user}: ABORTED — {error}")
         lines.append("")
     lines.append(service.describe())
     return "\n".join(lines)
 
 
-def run_metrics(tenants: int = 3, repeat: int = 2) -> str:
+def run_metrics(tenants: int = 3, repeat: int = 2,
+                deadline_ms: float | None = None,
+                cost_ceiling: float | None = None) -> str:
     """Drive a demo gateway and return the Prometheus scrape.
 
     ``tenants`` weighted tenants (weights cycling 1..3, users
     alternating U and Y) each run the paper's query ``repeat`` times
     through a shared :class:`~repro.gateway.Gateway`; the return value
     is the registry's text exposition — admission counters, queue
-    depths, fragment latencies, breaker states, and cache hit rates.
+    depths, fragment latencies, breaker states, cache hit rates, and
+    (when ``deadline_ms``/``cost_ceiling`` budget the queries) the
+    deadline/shed counters and budget-remaining histogram.  Queries the
+    budget aborts or the predictor sheds are reported in the scrape,
+    not raised.
     """
+    from repro.exceptions import QueryAbortedError, SheddedError
     from repro.gateway import Gateway, TenantConfig
 
+    budget = _budget_from_flags(deadline_ms, cost_ceiling)
     service = _demo_service()
     configs = [
         TenantConfig(f"tenant-{index}", weight=(index % 3) + 1,
@@ -238,7 +305,11 @@ def run_metrics(tenants: int = 3, repeat: int = 2) -> str:
     try:
         for _ in range(max(1, repeat)):
             for config in configs:
-                gateway.execute(config.name, DEMO_SQL)
+                try:
+                    gateway.execute(config.name, DEMO_SQL,
+                                    budget=budget)
+                except (QueryAbortedError, SheddedError):
+                    continue  # counted in the scrape below
         return gateway.metrics_text()
     finally:
         gateway.close()
@@ -270,9 +341,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"uniform-visibility penalty: {penalty:.2f}x")
     elif arguments.command == "workload":
         print(run_workload(arguments.repeat, arguments.schedule,
-                           arguments.workers, arguments.join_strategy))
+                           arguments.workers, arguments.join_strategy,
+                           arguments.deadline_ms, arguments.cost_ceiling))
     elif arguments.command == "metrics":
-        print(run_metrics(arguments.tenants, arguments.repeat))
+        print(run_metrics(arguments.tenants, arguments.repeat,
+                          arguments.deadline_ms, arguments.cost_ceiling))
     return 0
 
 

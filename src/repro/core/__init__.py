@@ -21,6 +21,12 @@ from repro.core.authorization import (
     SubjectKind,
     SubjectView,
 )
+from repro.core.budget import (
+    CancellationToken,
+    QueryBudget,
+    active_token,
+    token_scope,
+)
 from repro.core.candidates import (
     CandidateAssignment,
     MinimumViewProfiles,
@@ -100,23 +106,25 @@ __all__ = [
     "AttributeUniverse", "Authorization",
     "AuthorizationCheck", "AttributeComparisonPredicate",
     "AttributeValuePredicate", "AttributeSpec", "BaseRelationNode",
-    "CandidateAssignment", "CartesianProduct", "ComparisonOp",
+    "CancellationToken", "CandidateAssignment", "CartesianProduct",
+    "ComparisonOp",
     "Conjunction", "DATE", "DECIMAL", "Decrypt", "Encrypt",
     "EncryptedCapability", "EncryptionScheme", "EquivalenceClasses",
     "ExtendedPlan", "GroupBy", "INTEGER", "Join", "KeyAssignment",
     "MaskProfile", "MaskView", "MinimumViewProfiles", "NodeMap",
     "PlanNode", "Policy", "Predicate",
-    "Projection", "QueryKey", "QueryPlan", "Relation", "RelationProfile",
+    "Projection", "QueryBudget", "QueryKey", "QueryPlan", "Relation",
+    "RelationProfile",
     "Schema", "SchemeCapabilities", "Selection", "Subject", "SubjectKind",
     "SubjectView", "Udf", "VARCHAR", "assignee_authorized",
     "authorized_assignees",
-    "check_assignee", "check_relation", "chosen_schemes",
+    "active_token", "check_assignee", "check_relation", "chosen_schemes",
     "cluster_encrypted_attributes", "compute_candidates", "equals",
     "establish_keys", "extension_encrypted_attributes",
     "infer_plaintext_requirements", "is_authorized_assignee",
     "is_authorized_for_relation", "minimally_extend",
     "minimum_required_view", "minimum_view_profiles",
     "relation_authorized", "require_authorized",
-    "select_scheme", "user_can_receive_result", "value_equals",
-    "verify_assignment",
+    "select_scheme", "token_scope", "user_can_receive_result",
+    "value_equals", "verify_assignment",
 ]

@@ -65,18 +65,27 @@ class RetryPolicy:
     jitter_fraction: float = 0.25
     fragment_deadline_seconds: float | None = None
 
-    def backoff(self, attempt: int, salt: str = "") -> float:
-        """Delay before retry number ``attempt`` (1-based), in seconds."""
+    def backoff(self, attempt: int, salt: str = "",
+                remaining_seconds: float | None = None) -> float:
+        """Delay before retry number ``attempt`` (1-based), in seconds.
+
+        ``remaining_seconds`` clamps the delay to whatever is left of a
+        deadline (fragment or end-to-end query budget), so a backoff
+        sleep can never overshoot it — the runtime then re-checks the
+        deadline after the (possibly truncated) sleep.
+        """
         raw = min(
             self.backoff_cap_seconds,
             self.backoff_base_seconds
             * self.backoff_multiplier ** max(0, attempt - 1),
         )
-        if not self.jitter_fraction:
-            return raw
-        digest = hashlib.sha256(f"{salt}:{attempt}".encode()).digest()
-        unit = int.from_bytes(digest[:8], "big") / 2.0 ** 64
-        return raw * (1.0 - self.jitter_fraction * unit)
+        if self.jitter_fraction:
+            digest = hashlib.sha256(f"{salt}:{attempt}".encode()).digest()
+            unit = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+            raw *= 1.0 - self.jitter_fraction * unit
+        if remaining_seconds is not None:
+            raw = min(raw, max(0.0, remaining_seconds))
+        return raw
 
 
 @dataclass

@@ -89,6 +89,25 @@ authorized candidate remains.
 Time is injectable (``clock``/``sleeper``): simulated provider latency,
 backoff sleeps, deadlines, and breaker timeouts all go through the two
 callables, so resilience tests run fast and deterministic.
+
+Budgets and cancellation
+------------------------
+``run`` accepts a :class:`~repro.core.budget.CancellationToken` and
+honors it cooperatively (the checkpoint contract lives in
+:mod:`repro.core.budget`): the token is checked before envelopes are
+sealed, at every fragment boundary on both schedules, at every retry
+iteration, after each simulated-latency sleep, and at every failover
+candidate; it is additionally scoped to the evaluating thread
+(``token_scope``) so chunked parallel maps deep inside the executor
+observe it between chunks.  Simulated-latency and backoff sleeps are
+clamped to the *remaining* query budget (and to the per-fragment
+deadline), so a sleep can never overshoot either.  An abort unwinds as
+:class:`~repro.exceptions.DeadlineExceededError` /
+:class:`~repro.exceptions.QueryCancelledError` with the partial
+:class:`ExecutionTrace` attached; because every cache insert along the
+way is a complete-entry insert behind the same generation/version
+fences that guard policy churn, an aborted run leaves no
+partially-populated executor or fragment-cache entry behind.
 """
 
 from __future__ import annotations
@@ -101,6 +120,7 @@ from dataclasses import dataclass, field, replace
 from typing import Mapping
 
 from repro.core.authorization import Policy, Subject, SubjectView
+from repro.core.budget import CancellationToken, token_scope
 from repro.core.dispatch import DispatchPlan, SubQuery
 from repro.core.extension import ExtendedPlan
 from repro.core.keys import KeyAssignment
@@ -125,6 +145,7 @@ from repro.exceptions import (
     DispatchError,
     ProviderDeadError,
     ProviderUnavailableError,
+    QueryAbortedError,
     TransientProviderError,
     UnauthorizedError,
 )
@@ -258,6 +279,8 @@ class _RunContext:
     #: The extended plan under execution; failover repairs (and
     #: re-verifies) its assignment when a fragment loses its provider.
     extended: ExtendedPlan | None = None
+    #: The query's cancellation token (None = unbudgeted, no checks).
+    token: CancellationToken | None = None
     trace_lock: threading.Lock = field(default_factory=threading.Lock)
 
 
@@ -373,6 +396,7 @@ class DistributedRuntime:
             keys: KeyAssignment, distributed_keys: DistributedKeys,
             *, user: str | None = None, schedule: str | None = None,
             max_workers: int | None = None,
+            token: CancellationToken | None = None,
             ) -> tuple[Table, ExecutionTrace]:
         """Seal envelopes, execute every fragment, return the result.
 
@@ -381,6 +405,12 @@ class DistributedRuntime:
         chosen schedule — demand-driven root-down recursion
         (``"sequential"``, exactly the nested ``req`` calls of Figure 8)
         or dependency-graph order on a worker pool (``"parallel"``).
+
+        ``token`` makes the run budget-aware: it is checked at every
+        cooperative checkpoint (see the module docstring), and an abort
+        raises :class:`~repro.exceptions.DeadlineExceededError` /
+        :class:`~repro.exceptions.QueryCancelledError` with the partial
+        trace attached.
 
         The returned table is the caller's own copy: fragment results
         are memoized and shared across runs internally, so the delivered
@@ -402,27 +432,36 @@ class DistributedRuntime:
             user=user,
             user_node=user_node,
             extended=extended,
+            token=token,
         )
 
-        for fragment in dispatch_plan.fragments.values():
-            subject_node = self._node_for(fragment.subject)
-            payload = SubQueryPayload(
-                fragment_id=fragment.fragment_id,
-                query_text=fragment.text,
-                keystore=distributed_keys.store_for(fragment.subject),
-            )
-            blob = seal_envelope(
-                payload, user_node.rsa_private, subject_node.rsa_public
-            )
-            context.envelopes[fragment.fragment_id] = blob
-            trace.messages += 1
-            trace.envelope_bytes += len(blob)
+        try:
+            self._checkpoint(context, "runtime:dispatch")
+            for fragment in dispatch_plan.fragments.values():
+                subject_node = self._node_for(fragment.subject)
+                payload = SubQueryPayload(
+                    fragment_id=fragment.fragment_id,
+                    query_text=fragment.text,
+                    keystore=distributed_keys.store_for(fragment.subject),
+                )
+                blob = seal_envelope(
+                    payload, user_node.rsa_private, subject_node.rsa_public
+                )
+                context.envelopes[fragment.fragment_id] = blob
+                trace.messages += 1
+                trace.envelope_bytes += len(blob)
 
-        if schedule == "sequential":
-            result = self._run_sequential(
-                context, dispatch_plan.root_fragment_id)
-        else:
-            result = self._run_parallel(context, max_workers)
+            if schedule == "sequential":
+                result = self._run_sequential(
+                    context, dispatch_plan.root_fragment_id)
+            else:
+                result = self._run_parallel(context, max_workers)
+        except QueryAbortedError as abort:
+            # Hand the caller whatever ran before the abort: the partial
+            # trace is the audit record of the fragments already paid for.
+            if abort.trace is None:
+                abort.trace = trace
+            raise
 
         # Final delivery to the user: the user must be entitled to the
         # root relation, and to every column representation it contains.
@@ -576,9 +615,16 @@ class DistributedRuntime:
     # ------------------------------------------------------------------
     # Schedules
     # ------------------------------------------------------------------
+    @staticmethod
+    def _checkpoint(context: _RunContext, where: str) -> None:
+        """Cooperative cancellation checkpoint (no-op without a token)."""
+        if context.token is not None:
+            context.token.check(where)
+
     def _run_sequential(self, context: _RunContext,
                         fragment_id: str) -> Table:
         """Demand-driven recursion: the seed's bit-identical reference."""
+        self._checkpoint(context, f"runtime:fragment {fragment_id}")
         fragment = context.dispatch_plan.fragment(fragment_id)
         node = self._node_for(fragment.subject)
         payload = self._open_and_record(context, fragment, node)
@@ -620,6 +666,7 @@ class DistributedRuntime:
             or min(32, max(1, len(dispatch_plan.fragments)))
 
         def task(fragment_id: str) -> Table:
+            self._checkpoint(context, f"runtime:fragment {fragment_id}")
             fragment = dispatch_plan.fragment(fragment_id)
             node = self._node_for(fragment.subject)
             inputs: dict[int, Table] = {}
@@ -749,20 +796,30 @@ class DistributedRuntime:
 
         Only :class:`TransientProviderError` is retried (bounded
         attempts, exponential backoff with deterministic jitter, within
-        the per-fragment deadline).  A dead provider, an open breaker,
-        or an exhausted budget raises :class:`_FragmentFailed` so the
-        scheduler can fail the fragment over after releasing the
-        subject lock.  Any other exception (tampering, authorization
-        violations, executor bugs) propagates untouched — retrying a
-        forged envelope or a policy violation must never happen.
+        the per-fragment deadline *and* the remaining query budget).  A
+        dead provider, an open breaker, or an exhausted budget raises
+        :class:`_FragmentFailed` so the scheduler can fail the fragment
+        over after releasing the subject lock.  Any other exception
+        (tampering, authorization violations, executor bugs) propagates
+        untouched — retrying a forged envelope or a policy violation
+        must never happen.  A budget abort
+        (:class:`~repro.exceptions.QueryAbortedError` raised by a
+        checkpoint) also takes that path: it says nothing about the
+        provider's health, so the probe slot is released and the abort
+        unwinds unretried.
         """
         subject = fragment.subject
         retry = self.retry_policy
+        token = context.token
         deadline = None
         if retry.fragment_deadline_seconds is not None:
             deadline = self._clock() + retry.fragment_deadline_seconds
         attempts = 0
         while True:
+            self._checkpoint(
+                context,
+                f"runtime:fragment {fragment.fragment_id} "
+                f"attempt {attempts + 1}")
             if not self.health.admit(subject):
                 raise _FragmentFailed(
                     subject, attempts,
@@ -780,13 +837,26 @@ class DistributedRuntime:
                     extra = self.fault_injector.on_execute(subject)
                 delay = node.latency_seconds + extra
                 if delay:
-                    self._sleep(delay)
+                    # Clamp the simulated provider round-trip to the
+                    # remaining budget: past the deadline the response
+                    # is worthless, so the checkpoint below aborts
+                    # without waiting out the rest of the latency.
+                    if token is not None:
+                        delay = token.clamp(delay)
+                    if delay:
+                        self._sleep(delay)
+                    self._checkpoint(
+                        context,
+                        f"runtime:fragment {fragment.fragment_id} "
+                        f"response")
                 executor = self._executor_for(node, subject, payload,
                                               signature, context,
                                               generation)
                 impure = _input_dependent_ids(fragment.root, inputs)
-                result = self._evaluate(context, fragment, fragment.root,
-                                        executor, inputs, view, impure)
+                with token_scope(token):
+                    result = self._evaluate(context, fragment,
+                                            fragment.root, executor,
+                                            inputs, view, impure)
             except TransientProviderError as fault:
                 if self.health.record_failure(subject):
                     with context.trace_lock:
@@ -798,8 +868,24 @@ class DistributedRuntime:
                     raise _FragmentFailed(subject, attempts, cause=fault)
                 with context.trace_lock:
                     context.trace.retries += 1
+                # The backoff sleep draws from whatever budget is
+                # tighter — the per-fragment deadline or the remaining
+                # end-to-end query budget — and can overshoot neither.
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - self._clock())
+                if token is not None:
+                    budget_left = token.remaining_seconds()
+                    if budget_left is not None:
+                        remaining = budget_left if remaining is None \
+                            else min(remaining, budget_left)
                 self._sleep(retry.backoff(
-                    attempts, salt=f"{fragment.fragment_id}:{subject}"))
+                    attempts, salt=f"{fragment.fragment_id}:{subject}",
+                    remaining_seconds=remaining))
+                if deadline is not None and self._clock() >= deadline:
+                    # The (clamped) sleep consumed the fragment's whole
+                    # deadline; another attempt could not finish in time.
+                    raise _FragmentFailed(subject, attempts, cause=fault)
                 continue
             except ProviderDeadError as fault:
                 if self.health.mark_dead(subject):
@@ -849,6 +935,8 @@ class DistributedRuntime:
         base_relations = [n for n in fragment.nodes
                           if isinstance(n, BaseRelationNode)]
         while True:
+            self._checkpoint(
+                context, f"runtime:failover {fragment.fragment_id}")
             candidate = self._next_candidate(
                 context, fragment, excluded, base_relations, operations)
             if candidate is None:

@@ -110,6 +110,69 @@ class UnrecoverableAssignmentError(NoCandidateError):
     """
 
 
+class QueryAbortedError(ReproError):
+    """A query stopped before completion (base for deadline/cancel).
+
+    ``where`` names the cooperative checkpoint that observed the abort
+    (see :mod:`repro.core.budget` for the checkpoint contract).
+    ``trace`` carries the partial
+    :class:`~repro.distributed.runtime.ExecutionTrace` of whatever ran
+    before the abort when the query was already executing (``None``
+    when it never reached the runtime), attached by the layer that
+    owns the trace as the abort unwinds.
+    """
+
+    def __init__(self, message: str, *, where: str = "",
+                 trace: object | None = None) -> None:
+        super().__init__(message)
+        self.where = where
+        self.trace = trace
+
+
+class DeadlineExceededError(QueryAbortedError):
+    """A query's end-to-end deadline expired before it completed.
+
+    Raised at the first cooperative checkpoint past the deadline —
+    queue dequeue, planning, a fragment boundary, a retry iteration, a
+    failover tier, or a parallel-map chunk boundary — never mid-chunk.
+    """
+
+    def __init__(self, message: str, *, where: str = "",
+                 trace: object | None = None,
+                 deadline_seconds: float | None = None,
+                 elapsed_seconds: float | None = None) -> None:
+        super().__init__(message, where=where, trace=trace)
+        self.deadline_seconds = deadline_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+
+class QueryCancelledError(QueryAbortedError):
+    """The client cancelled the query; it unwound at a checkpoint."""
+
+    def __init__(self, message: str, *, where: str = "",
+                 trace: object | None = None,
+                 reason: str | None = None) -> None:
+        super().__init__(message, where=where, trace=trace)
+        self.reason = reason
+
+
+class CostCeilingExceededError(QueryAbortedError):
+    """The §7-costed plan exceeds the query budget's cost ceiling.
+
+    Raised after planning, before any key material is generated or a
+    single fragment is dispatched: the assignment search already
+    produced the exact cost, so an over-budget query is refused at the
+    cheapest possible point.
+    """
+
+    def __init__(self, message: str, *, where: str = "planning",
+                 cost_usd: float | None = None,
+                 ceiling_usd: float | None = None) -> None:
+        super().__init__(message, where=where)
+        self.cost_usd = cost_usd
+        self.ceiling_usd = ceiling_usd
+
+
 class GatewayError(ReproError):
     """Base class for multi-tenant gateway failures."""
 
@@ -148,6 +211,32 @@ class QuotaExceeded(GatewayError):
         self.tenant = tenant
         self.reason = reason
         self.spent_usd = spent_usd
+        self.retry_after_seconds = retry_after_seconds
+
+
+class SheddedError(GatewayError):
+    """The gateway predicted the query would blow its budget and shed it.
+
+    Raised at :meth:`~repro.gateway.Gateway.submit`, before the query
+    is queued (and therefore before any planning): the admission
+    predictor — per-SQL latency/cost EWMAs backed by the gateway's
+    query-latency histograms — concluded the query could not finish
+    inside its deadline (``reason="predicted_deadline"``) or under its
+    cost ceiling (``reason="predicted_cost"``).  ``retry_after_seconds``
+    estimates when the standing backlog will have drained enough for
+    the prediction to clear (``None`` when waiting cannot help, e.g. a
+    cost-ceiling shed).
+    """
+
+    def __init__(self, message: str, *, tenant: str, reason: str,
+                 predicted_seconds: float | None = None,
+                 remaining_seconds: float | None = None,
+                 retry_after_seconds: float | None = None) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+        self.predicted_seconds = predicted_seconds
+        self.remaining_seconds = remaining_seconds
         self.retry_after_seconds = retry_after_seconds
 
 

@@ -8,11 +8,19 @@ registry.  See :mod:`repro.gateway.gateway` for the execution model and
 ``docs/architecture.md`` for where the gateway sits in the stack.
 """
 
-from repro.exceptions import AdmissionRejected, GatewayError, QuotaExceeded
+from repro.exceptions import (
+    AdmissionRejected,
+    GatewayError,
+    QuotaExceeded,
+    SheddedError,
+)
 from repro.gateway.admission import (
+    DEFAULT_PREDICTOR_ALPHA,
+    DEFAULT_PREDICTOR_SIZE,
     DEFAULT_QUEUE_DEPTH,
     AdmissionController,
     FairScheduler,
+    LatencyPredictor,
     fair_shares,
 )
 from repro.gateway.gateway import Gateway, TenantConfig
@@ -21,11 +29,15 @@ from repro.gateway.quotas import TenantQuota, TokenBucket
 __all__ = [
     "AdmissionController",
     "AdmissionRejected",
+    "DEFAULT_PREDICTOR_ALPHA",
+    "DEFAULT_PREDICTOR_SIZE",
     "DEFAULT_QUEUE_DEPTH",
     "FairScheduler",
     "Gateway",
     "GatewayError",
+    "LatencyPredictor",
     "QuotaExceeded",
+    "SheddedError",
     "TenantConfig",
     "TenantQuota",
     "TokenBucket",

@@ -23,6 +23,14 @@ capacity.  Two cooperating pieces implement that:
     under the same lock that orders them, so the dispatch sequence is
     the ground truth for fairness audits.
 
+:class:`LatencyPredictor`
+    The cost-predictive half of graceful degradation: bounded per-SQL
+    EWMAs of observed wall time and §7 cost, fed from every completed
+    query.  The gateway consults it (falling back to its per-tenant
+    query-latency histogram) to refuse work predicted to blow its
+    deadline or cost ceiling *before* it is queued — see
+    :meth:`~repro.gateway.Gateway.submit`.
+
 Neither class reads the wall clock: queue-wait timestamps are stamped
 by the gateway through its injectable ``clock`` callable (following the
 :mod:`repro.distributed.health` style), so admission behaviour is fully
@@ -32,13 +40,77 @@ deterministic under a fake clock.
 from __future__ import annotations
 
 import threading
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Deque, Iterable
 
 from repro.exceptions import AdmissionRejected
 
 #: Default bound on queued queries per tenant.
 DEFAULT_QUEUE_DEPTH = 16
+
+#: Distinct SQL texts the latency predictor tracks (LRU beyond it).
+DEFAULT_PREDICTOR_SIZE = 512
+
+#: EWMA smoothing for the predictor: high enough to follow a workload
+#: shift within a few queries, low enough to ride out one-off spikes.
+DEFAULT_PREDICTOR_ALPHA = 0.3
+
+
+class LatencyPredictor:
+    """Bounded per-SQL EWMAs of wall seconds and §7 cost (thread-safe).
+
+    Keyed by exact SQL text — the repeat-heavy workload this system
+    serves makes the text a strong predictor (same text → same plan →
+    same assignment via the service's caches).  Unseen text predicts
+    ``None``; the gateway then falls back to its per-tenant latency
+    histogram, and admits when that too has no signal — prediction
+    must never brick a cold start.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_PREDICTOR_SIZE,
+                 alpha: float = DEFAULT_PREDICTOR_ALPHA) -> None:
+        if not isinstance(maxsize, int) or maxsize < 1:
+            raise ValueError(
+                f"maxsize must be a positive integer, got {maxsize!r}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha!r}")
+        self.alpha = alpha
+        self._maxsize = maxsize
+        self._ewmas: OrderedDict[str, tuple[float, float]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def observe(self, sql: str, wall_seconds: float,
+                cost_usd: float) -> None:
+        """Fold one completed query into the EWMAs."""
+        with self._lock:
+            entry = self._ewmas.get(sql)
+            if entry is None:
+                self._ewmas[sql] = (wall_seconds, cost_usd)
+            else:
+                alpha = self.alpha
+                self._ewmas[sql] = (
+                    alpha * wall_seconds + (1.0 - alpha) * entry[0],
+                    alpha * cost_usd + (1.0 - alpha) * entry[1],
+                )
+            self._ewmas.move_to_end(sql)
+            while len(self._ewmas) > self._maxsize:
+                self._ewmas.popitem(last=False)
+
+    def predict_seconds(self, sql: str) -> float | None:
+        """Expected wall seconds for ``sql`` (None = never observed)."""
+        with self._lock:
+            entry = self._ewmas.get(sql)
+            return None if entry is None else entry[0]
+
+    def predict_cost(self, sql: str) -> float | None:
+        """Expected §7 cost in USD for ``sql`` (None = never observed)."""
+        with self._lock:
+            entry = self._ewmas.get(sql)
+            return None if entry is None else entry[1]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ewmas)
 
 
 class _TenantQueue:

@@ -15,6 +15,14 @@ any planning work is spent on a query:
   :mod:`repro.cost.metering`), so exhaustion rejects every *further*
   query with the tenant's spend-so-far attached.
 
+A third, *advisory* dimension rides along: per-tenant default query
+budgets (``deadline_seconds`` / ``cost_ceiling_usd``).  They are not an
+admission gate themselves — :meth:`TenantQuota.budget_for` merges them
+under any per-query budget the caller requested (the request wins field
+by field), and the gateway turns the merged budget into the
+:class:`~repro.core.budget.CancellationToken` that bounds the query end
+to end.
+
 Time is injected (``clock``), so bucket refill is unit-testable with a
 fake clock and never sleeps.
 """
@@ -24,6 +32,7 @@ from __future__ import annotations
 import threading
 import time
 
+from repro.core.budget import QueryBudget
 from repro.cost.metering import CreditAccount, Ledger
 from repro.exceptions import QuotaExceeded
 
@@ -89,12 +98,40 @@ class TenantQuota:
                  rate_per_second: float | None = None,
                  burst: float = 1.0,
                  credits_usd: float | None = None,
+                 deadline_seconds: float | None = None,
+                 cost_ceiling_usd: float | None = None,
                  clock=time.monotonic) -> None:
         self.tenant = tenant
         self.bucket = (None if rate_per_second is None
                        else TokenBucket(rate_per_second, burst,
                                         clock=clock))
         self.account = CreditAccount(tenant, credits_usd=credits_usd)
+        # Validates both fields (> 0 or None) via QueryBudget.
+        self.default_budget = QueryBudget(
+            deadline_seconds=deadline_seconds,
+            cost_ceiling_usd=cost_ceiling_usd)
+
+    def budget_for(self, requested: QueryBudget | None) -> QueryBudget | None:
+        """The effective budget for one query: request over defaults.
+
+        Field-by-field merge — a requested field wins, a ``None``
+        requested field falls back to the tenant default.  Returns
+        ``None`` when neither side constrains anything, so unbudgeted
+        tenants keep running token-free.
+        """
+        default = self.default_budget
+        if requested is None:
+            return None if default.unlimited else default
+        deadline = requested.deadline_seconds \
+            if requested.deadline_seconds is not None \
+            else default.deadline_seconds
+        ceiling = requested.cost_ceiling_usd \
+            if requested.cost_ceiling_usd is not None \
+            else default.cost_ceiling_usd
+        if deadline is None and ceiling is None:
+            return None
+        return QueryBudget(deadline_seconds=deadline,
+                           cost_ceiling_usd=ceiling)
 
     def check(self, ledger: Ledger) -> None:
         """Admit one query or raise :class:`QuotaExceeded`.

@@ -77,6 +77,13 @@ DEFAULT_LATENCY_BUCKETS = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+#: Default buckets for ratios in [0, 1] (e.g. the fraction of a query's
+#: deadline budget left at delivery): dense near 0 where queries that
+#: barely made it — the early-warning signal for shedding — land.
+DEFAULT_FRACTION_BUCKETS = (
+    0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0,
+)
+
 
 def _format_value(value: float) -> str:
     """A float in exposition format (``repr`` round-trips exactly)."""

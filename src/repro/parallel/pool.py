@@ -14,6 +14,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.core.budget import active_token
+
 #: Join strategies the executor accepts, in preference order.
 JOIN_STRATEGIES = ("hash", "parallel-hash", "nested-loop")
 
@@ -69,7 +71,19 @@ class WorkerPool:
         identical to ``task(payload, list(items))`` — which is exactly
         what runs (inline, in this process) when the pool is disabled or
         the input is below the size threshold.
+
+        Cancellation: when the submitting thread carries a scoped
+        :class:`~repro.core.budget.CancellationToken` (see
+        ``token_scope``), it is checked before starting and between
+        collecting each chunk's result.  A chunk already running in a
+        worker completes (workers are oblivious to tokens — cooperative,
+        never preemptive), but no further chunk is *awaited* after an
+        abort: pending futures are cancelled and the abort unwinds
+        within one chunk, leaving the pool reusable.
         """
+        token = active_token()
+        if token is not None:
+            token.check("pool:map")
         items = items if isinstance(items, list) else list(items)
         if not self.should_parallelize(len(items)):
             return task(payload, items)
@@ -81,7 +95,14 @@ class WorkerPool:
         executor = self._ensure_executor()
         futures = [executor.submit(task, payload, chunk) for chunk in chunks]
         out: list = []
-        for future in futures:
+        for index, future in enumerate(futures):
+            if token is not None:
+                try:
+                    token.check(f"pool:chunk {index}/{len(futures)}")
+                except Exception:
+                    for pending in futures[index:]:
+                        pending.cancel()
+                    raise
             out.extend(future.result())
         return out
 

@@ -8,6 +8,7 @@ runtime; :class:`WorkloadSession` scopes a stream of such queries to one
 user.
 """
 
+from repro.core.budget import CancellationToken, QueryBudget
 from repro.service.workload import (
     DEFAULT_EXECUTOR_CACHE_BYTES,
     QueryOutcome,
@@ -17,6 +18,6 @@ from repro.service.workload import (
 )
 
 __all__ = [
-    "DEFAULT_EXECUTOR_CACHE_BYTES", "QueryOutcome", "QueryService",
-    "SessionStats", "WorkloadSession",
+    "CancellationToken", "DEFAULT_EXECUTOR_CACHE_BYTES", "QueryBudget",
+    "QueryOutcome", "QueryService", "SessionStats", "WorkloadSession",
 ]

@@ -42,6 +42,7 @@ from typing import Mapping
 
 from repro.core.assignment import AssignmentResult, EdgeTableCache, assign
 from repro.core.authorization import Policy, Subject
+from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.candidates import IncrementalCandidates
 from repro.core.dispatch import DispatchPlan, dispatch
 from repro.core.plancache import AssignmentCache
@@ -62,6 +63,7 @@ from repro.engine.executor import UdfCallable
 from repro.engine.table import Table
 from repro.parallel.pool import ExecutionSettings
 from repro.exceptions import (
+    CostCeilingExceededError,
     DispatchError,
     NoCandidateError,
     ProviderUnavailableError,
@@ -136,6 +138,11 @@ class QueryOutcome:
     #: Latency attributable to recovery (retries excluded): in-place
     #: failover time plus standby/re-plan repair and re-run time.
     failover_seconds: float = 0.0
+    #: The budget the query ran under (None = unbudgeted).
+    budget: QueryBudget | None = None
+    #: Seconds left on the deadline when the result was delivered
+    #: (None = no deadline).
+    budget_remaining_seconds: float | None = None
 
     @property
     def failed_over(self) -> bool:
@@ -164,12 +171,20 @@ class QueryOutcome:
             recovery = (f" failover[{mode}"
                         + (f" {moves}" if moves else "")
                         + f" +{self.failover_seconds * 1000:.1f}ms]")
+        budget_note = ""
+        if self.budget is not None \
+                and self.budget.deadline_seconds is not None \
+                and self.budget_remaining_seconds is not None:
+            budget_note = (
+                f" budget[{self.budget_remaining_seconds * 1000:.0f}ms "
+                f"left of {self.budget.deadline_seconds * 1000:.0f}ms]")
         return (
             f"{self.user}: {len(self.result)} rows in "
             f"{self.wall_seconds * 1000:.1f} ms "
             f"[{self.trace.schedule}, {len(self.trace.fragments_run)} "
             f"fragments, {self.trace.fragment_cache_hits} cached, "
-            f"caches={flags}, ${self.cost_usd:.6f}]{churn}{recovery}"
+            f"caches={flags}, ${self.cost_usd:.6f}]"
+            f"{churn}{recovery}{budget_note}"
         )
 
 
@@ -267,6 +282,10 @@ class QueryService:
         #: checks run, so unbounded growth would be caller-controlled).
         #: Eviction only costs a cold user an assignment-cache miss.
         self._user_topologies: _BoundedCache = _BoundedCache()
+        #: Clock used when minting a CancellationToken from a bare
+        #: QueryBudget; shared with the runtime so fake-clock tests see
+        #: one consistent notion of time end to end.
+        self._clock_fn = clock or time.monotonic
         self.assignment_cache = AssignmentCache(
             maxsize=assignment_cache_size)
         #: Cross-query DP edge tables; receiver rows reconcile against
@@ -302,8 +321,24 @@ class QueryService:
     # Execution
     # ------------------------------------------------------------------
     def execute(self, sql: str, user: str | None = None,
-                schedule: str | None = None) -> QueryOutcome:
+                schedule: str | None = None, *,
+                budget: QueryBudget | None = None,
+                token: CancellationToken | None = None) -> QueryOutcome:
         """Run one SQL query end to end for ``user``.
+
+        ``budget`` bounds the query end to end (a fresh
+        :class:`~repro.core.budget.CancellationToken` is minted for it
+        on the service's clock); pass ``token`` instead to share an
+        existing countdown — e.g. the gateway's, whose deadline started
+        at submission so queue wait already drew from it — or to allow
+        client-side ``cancel()``.  The cost ceiling is enforced right
+        after planning, against the assignment's exact §7 cost, before
+        key generation or dispatch
+        (:class:`~repro.exceptions.CostCeilingExceededError`); deadline
+        expiry and cancellation unwind from the nearest cooperative
+        checkpoint as
+        :class:`~repro.exceptions.DeadlineExceededError` /
+        :class:`~repro.exceptions.QueryCancelledError`.
 
         Raises :class:`~repro.exceptions.UnauthorizedError` when the
         user may not receive the result,
@@ -311,7 +346,11 @@ class QueryService:
         has no authorized assignee, and the usual SQL analysis errors.
         """
         user = user or self.user
+        if token is None and budget is not None:
+            token = CancellationToken(budget, clock=self._clock_fn)
         started = time.perf_counter()
+        if token is not None:
+            token.check("service:admitted")
         with self._lock:
             reconcile_before = self._reconcile_counters()
             plan_cached = (sql, id(self.schema)) in self._plan_cache
@@ -328,6 +367,9 @@ class QueryService:
             assignment_cached = (
                 self.assignment_cache.info()["hits"] > hits_before
             )
+        if token is not None:
+            token.check("service:planned")
+            self._enforce_cost_ceiling(token, outcome)
         # Key generation (Paillier — the most expensive planning step)
         # and fragment rendering run outside the planning lock so cold
         # queries from different users don't serialize on them; the memo
@@ -340,13 +382,13 @@ class QueryService:
         try:
             result, trace = self.runtime.run(
                 dispatch_plan, outcome.extended, outcome.keys, distributed,
-                user=user, schedule=schedule,
+                user=user, schedule=schedule, token=token,
             )
         except ProviderUnavailableError as failure:
             repair_started = time.perf_counter()
             outcome, result, trace, standby_used, partial_traces = \
                 self._repair_and_rerun(plan, outcome, failure, user,
-                                       schedule)
+                                       schedule, token)
             replanned = not standby_used
             repair_seconds = time.perf_counter() - repair_started
         wall = time.perf_counter() - started
@@ -378,6 +420,9 @@ class QueryService:
             replanned=replanned,
             failover_seconds=(repair_seconds
                               + sum(e.seconds for e in failovers)),
+            budget=token.budget if token is not None else None,
+            budget_remaining_seconds=(token.remaining_seconds()
+                                      if token is not None else None),
         )
         with self._lock:
             self.total_stats.observe(executed)
@@ -394,6 +439,7 @@ class QueryService:
         self, plan, primary: AssignmentResult,
         failure: ProviderUnavailableError, user: str,
         schedule: str | None,
+        token: CancellationToken | None = None,
     ) -> tuple[AssignmentResult, Table, ExecutionTrace, bool,
                list[ExecutionTrace]]:
         """Recover a query whose fragment lost every in-place candidate.
@@ -408,12 +454,20 @@ class QueryService:
         :class:`UnrecoverableAssignmentError` is raised only when no
         authorized candidate remains (or the lost subject is a data
         authority, whose stored relations cannot move).
+
+        Recovery draws from the same query budget as the primary run:
+        each tier starts with a checkpoint (an expired query is not
+        worth re-planning) and a repaired assignment is re-gated against
+        the cost ceiling before dispatch — failover may not buy a result
+        the budget already refused.
         """
         unavailable = set(failure.excluded)
         partial_traces: list[ExecutionTrace] = []
         if failure.trace is not None:
             partial_traces.append(failure.trace)
         while True:
+            if token is not None:
+                token.check("service:failover")
             unavailable |= self.runtime.health.unavailable_subjects()
             if failure.subject in set(self.owners.values()) \
                     or failure.subject.startswith("authority:"):
@@ -444,12 +498,15 @@ class QueryService:
                 # an authorized assignment before anything is dispatched.
                 verify_assignment(repaired.extended.plan, self.policy,
                                   repaired.extended.assignment)
+            if token is not None:
+                self._enforce_cost_ceiling(token, repaired,
+                                           where="failover")
             distributed, _ = self._distributed_keys(repaired)
             dispatch_plan = self._dispatch_plan(repaired, user)
             try:
                 result, trace = self.runtime.run(
                     dispatch_plan, repaired.extended, repaired.keys,
-                    distributed, user=user, schedule=schedule,
+                    distributed, user=user, schedule=schedule, token=token,
                 )
             except ProviderUnavailableError as again:
                 # Another provider died during the re-run: widen the
@@ -461,6 +518,25 @@ class QueryService:
                 failure = again
                 continue
             return repaired, result, trace, standby_used, partial_traces
+
+    @staticmethod
+    def _enforce_cost_ceiling(token: CancellationToken,
+                              outcome: AssignmentResult,
+                              where: str = "planning") -> None:
+        """Refuse an assignment whose exact §7 cost exceeds the ceiling.
+
+        Runs right after planning — the cheapest point with an exact
+        cost in hand, before key generation or any dispatch.
+        """
+        ceiling = token.budget.cost_ceiling_usd
+        if ceiling is None:
+            return
+        cost = outcome.cost.total_usd
+        if cost > ceiling:
+            raise CostCeilingExceededError(
+                f"planned query costs ${cost:.6f}, over the "
+                f"${ceiling:.6f} ceiling", where=where,
+                cost_usd=cost, ceiling_usd=ceiling)
 
     def _standby_for(self, primary: AssignmentResult,
                      unavailable: set[str],
@@ -659,10 +735,13 @@ class WorkloadSession:
     outcomes: list[QueryOutcome] = field(default_factory=list)
     stats: SessionStats = field(default_factory=SessionStats)
 
-    def run(self, sql: str, schedule: str | None = None) -> QueryOutcome:
+    def run(self, sql: str, schedule: str | None = None, *,
+            budget: QueryBudget | None = None,
+            token: CancellationToken | None = None) -> QueryOutcome:
         """Execute ``sql`` as this session's user and record the stats."""
         outcome = self.service.execute(sql, user=self.user,
-                                       schedule=schedule)
+                                       schedule=schedule,
+                                       budget=budget, token=token)
         self.outcomes.append(outcome)
         del self.outcomes[:-_SESSION_OUTCOME_LIMIT]
         self.stats.observe(outcome)

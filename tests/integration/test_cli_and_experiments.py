@@ -43,6 +43,28 @@ class TestCli:
         out = capsys.readouterr().out
         assert "[sequential," in out
 
+    def test_workload_with_generous_budget_reports_remaining(self,
+                                                             capsys):
+        assert main(["workload", "--repeat", "1",
+                     "--deadline-ms", "60000"]) == 0
+        out = capsys.readouterr().out
+        assert "budget[" in out and "left of 60000ms]" in out
+
+    def test_workload_cost_ceiling_aborts_cleanly(self, capsys):
+        assert main(["workload", "--repeat", "1",
+                     "--cost-ceiling", "0.0000001"]) == 0
+        out = capsys.readouterr().out
+        assert "ABORTED" in out and "ceiling" in out
+        assert "Traceback" not in out
+
+    def test_metrics_budget_flags_surface_in_the_scrape(self, capsys):
+        assert main(["metrics", "--tenants", "1", "--repeat", "1",
+                     "--deadline-ms", "60000"]) == 0
+        families = parse_prometheus(capsys.readouterr().out)
+        assert "repro_gateway_budget_remaining_fraction" in families
+        assert "repro_gateway_deadline_exceeded_total" in families
+        assert "repro_gateway_shed_predicted_total" in families
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
@@ -78,6 +100,11 @@ class TestCliValidation:
         (["fig9", "--scale", "nan"], "> 0"),
         (["fig9", "--queries", "foo"], "comma-separated"),
         (["ablate-mix", "--queries", "3,,x"], "comma-separated"),
+        (["workload", "--deadline-ms", "0"], "milliseconds > 0"),
+        (["workload", "--deadline-ms", "soon"], "milliseconds > 0"),
+        (["workload", "--cost-ceiling", "-0.5"], "USD > 0"),
+        (["metrics", "--deadline-ms", "-10"], "milliseconds > 0"),
+        (["metrics", "--cost-ceiling", "free"], "USD > 0"),
     ])
     def test_bad_knobs_exit_status_2(self, argv, needle, capsys):
         with pytest.raises(SystemExit) as excinfo:
